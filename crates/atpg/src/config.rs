@@ -1,0 +1,107 @@
+//! ATPG configuration.
+
+/// How learned relations are applied during test generation (paper §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LearningMode {
+    /// Learned data is ignored entirely (the "No learning" columns of Table 5).
+    #[default]
+    None,
+    /// Relations act as forbidden values: conflicts are detected when a signal
+    /// takes a forbidden value, and backtrace prefers inputs whose complement
+    /// is forbidden. No extra justification obligations are created.
+    ForbiddenValue,
+    /// Relations act as known values: consequents become required values with
+    /// transitive closure, pruning decisions at the cost of possibly
+    /// unnecessary requirements.
+    KnownValue,
+}
+
+impl LearningMode {
+    /// Returns `true` when learned relations are consulted at all.
+    pub fn uses_learning(self) -> bool {
+        self != LearningMode::None
+    }
+}
+
+/// Tuning knobs of the sequential test generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtpgConfig {
+    /// Maximum number of backtracks per target fault (the paper uses 30 and
+    /// 1000 in its two experiment stages).
+    pub backtrack_limit: usize,
+    /// Maximum number of time frames the iterative array may span.
+    pub max_window: usize,
+    /// Hard bound on decisions per fault, a safety net against degenerate
+    /// search trees on large circuits.
+    pub max_decisions: usize,
+    /// How learned relations are used.
+    pub learning: LearningMode,
+    /// Grow the time-frame window geometrically (1, 2, 4, …, `max_window`)
+    /// instead of starting at the maximum. Smaller windows are much cheaper
+    /// and detect most faults.
+    pub grow_window: bool,
+    /// Fault-simulate each generated test against the remaining fault list and
+    /// drop everything it detects.
+    pub fault_dropping: bool,
+}
+
+impl Default for AtpgConfig {
+    fn default() -> Self {
+        AtpgConfig {
+            backtrack_limit: 30,
+            max_window: 8,
+            max_decisions: 20_000,
+            learning: LearningMode::None,
+            grow_window: true,
+            fault_dropping: true,
+        }
+    }
+}
+
+impl AtpgConfig {
+    /// Configuration with a given backtrack limit (other fields default).
+    pub fn with_backtrack_limit(limit: usize) -> Self {
+        AtpgConfig {
+            backtrack_limit: limit,
+            ..AtpgConfig::default()
+        }
+    }
+
+    /// Returns a copy using the given learning mode.
+    pub fn learning(mut self, mode: LearningMode) -> Self {
+        self.learning = mode;
+        self
+    }
+
+    /// Returns a copy using the given time-frame window bound.
+    pub fn window(mut self, frames: usize) -> Self {
+        self.max_window = frames.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_first_stage() {
+        let c = AtpgConfig::default();
+        assert_eq!(c.backtrack_limit, 30);
+        assert_eq!(c.learning, LearningMode::None);
+        assert!(c.fault_dropping);
+        assert!(c.grow_window);
+    }
+
+    #[test]
+    fn builder_style_modifiers() {
+        let c = AtpgConfig::with_backtrack_limit(1000)
+            .learning(LearningMode::ForbiddenValue)
+            .window(0);
+        assert_eq!(c.backtrack_limit, 1000);
+        assert_eq!(c.learning, LearningMode::ForbiddenValue);
+        assert_eq!(c.max_window, 1);
+        assert!(LearningMode::ForbiddenValue.uses_learning());
+        assert!(!LearningMode::None.uses_learning());
+    }
+}

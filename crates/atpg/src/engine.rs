@@ -1,0 +1,335 @@
+//! The fault-list-level ATPG flow: tied-gate screening, per-fault test
+//! generation, sequence validation and fault dropping by fault simulation.
+
+use crate::config::AtpgConfig;
+use crate::learned::LearnedData;
+use crate::tgen::{GenOutcome, TestGenerator};
+use crate::Result;
+use sla_netlist::Netlist;
+use sla_sim::{Fault, FaultSimulator, FaultSite, TestSequence};
+use std::time::{Duration, Instant};
+
+/// Final classification of a fault after the ATPG run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultStatus {
+    /// A validated test sequence detects the fault (directly or by fault
+    /// simulation of a sequence generated for another fault).
+    Detected,
+    /// The fault was proven untestable (tied-gate argument or exhausted search
+    /// at the maximum window).
+    Untestable,
+    /// The backtrack/decision budget was exhausted without a verdict.
+    Aborted,
+}
+
+/// Aggregate statistics of one ATPG run (the columns of Table 5).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AtpgStats {
+    /// Number of target faults.
+    pub total_faults: usize,
+    /// Faults detected (including by fault simulation of other tests).
+    pub detected: usize,
+    /// Faults classified untestable.
+    pub untestable: usize,
+    /// Faults aborted.
+    pub aborted: usize,
+    /// Faults classified untestable directly from tied gates, without search.
+    pub untestable_from_ties: usize,
+    /// Total backtracks spent.
+    pub backtracks: usize,
+    /// Total decisions made.
+    pub decisions: usize,
+    /// Number of generated test sequences.
+    pub sequences: usize,
+    /// Total number of test vectors (frames) across all sequences.
+    pub test_vectors: usize,
+    /// Wall-clock time of the run.
+    pub cpu: Duration,
+}
+
+impl AtpgStats {
+    /// Fault coverage: detected / total.
+    pub fn fault_coverage(&self) -> f64 {
+        if self.total_faults == 0 {
+            return 0.0;
+        }
+        self.detected as f64 / self.total_faults as f64
+    }
+
+    /// Test coverage: detected / (total - untestable), the paper's "fault
+    /// coverage excluding untestable faults".
+    pub fn test_coverage(&self) -> f64 {
+        let testable = self.total_faults.saturating_sub(self.untestable);
+        if testable == 0 {
+            return 1.0;
+        }
+        self.detected as f64 / testable as f64
+    }
+}
+
+/// The result of running ATPG over a fault list.
+#[derive(Debug, Clone, Default)]
+pub struct AtpgRun {
+    /// Per-fault classification, parallel to the input fault list.
+    pub status: Vec<FaultStatus>,
+    /// All generated (and validated) test sequences.
+    pub sequences: Vec<TestSequence>,
+    /// Aggregate statistics.
+    pub stats: AtpgStats,
+}
+
+/// Sequential ATPG engine.
+///
+/// Construct with [`AtpgEngine::new`], optionally attach learned data with
+/// [`AtpgEngine::with_learned`], then call [`AtpgEngine::run`] on a fault list.
+#[derive(Debug)]
+pub struct AtpgEngine<'a> {
+    netlist: &'a Netlist,
+    config: AtpgConfig,
+    learned: LearnedData,
+}
+
+impl<'a> AtpgEngine<'a> {
+    /// Creates an engine without learned data.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the netlist cannot be levelized.
+    pub fn new(netlist: &'a Netlist, config: AtpgConfig) -> Result<Self> {
+        // Levelization errors are surfaced early by constructing a generator.
+        TestGenerator::new(netlist, config, LearnedData::new())?;
+        Ok(AtpgEngine {
+            netlist,
+            config,
+            learned: LearnedData::new(),
+        })
+    }
+
+    /// Attaches learned data (implications and tied gates). The learning mode
+    /// in the configuration decides how the implications are used.
+    pub fn with_learned(mut self, learned: LearnedData) -> Self {
+        self.learned = learned;
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AtpgConfig {
+        &self.config
+    }
+
+    /// Runs test generation over `faults` and returns per-fault statuses,
+    /// the generated sequences and aggregate statistics.
+    pub fn run(&self, faults: &[Fault]) -> AtpgRun {
+        let start = Instant::now();
+        let mut status: Vec<Option<FaultStatus>> = vec![None; faults.len()];
+        let mut stats = AtpgStats {
+            total_faults: faults.len(),
+            ..AtpgStats::default()
+        };
+
+        // Tied-gate screening: a fault stuck at the tied value of its line can
+        // never produce a difference; classified untestable with zero search.
+        if !self.learned.tied.is_empty() {
+            for (i, fault) in faults.iter().enumerate() {
+                let line_value = match fault.site {
+                    FaultSite::Output(node) => self.learned.tied_value(node),
+                    FaultSite::Input { gate, pin } => {
+                        self.learned.tied_value(self.netlist.fanins(gate)[pin])
+                    }
+                };
+                if line_value == Some(fault.stuck_at) {
+                    status[i] = Some(FaultStatus::Untestable);
+                    stats.untestable_from_ties += 1;
+                }
+            }
+        }
+
+        let generator = TestGenerator::new(self.netlist, self.config, self.learned.clone())
+            .expect("netlist already levelized in new()");
+        let fault_sim = FaultSimulator::new(self.netlist)
+            .expect("netlist already levelized in new()");
+        let mut sequences = Vec::new();
+
+        for i in 0..faults.len() {
+            if status[i].is_some() {
+                continue;
+            }
+            let result = generator.generate(&faults[i]);
+            stats.backtracks += result.backtracks;
+            stats.decisions += result.decisions;
+            match result.outcome {
+                GenOutcome::Detected(sequence) => {
+                    status[i] = Some(FaultStatus::Detected);
+                    if self.config.fault_dropping {
+                        // Drop every remaining fault the new sequence detects.
+                        let remaining: Vec<usize> = (i + 1..faults.len())
+                            .filter(|&j| status[j].is_none())
+                            .collect();
+                        let targets: Vec<Fault> =
+                            remaining.iter().map(|&j| faults[j]).collect();
+                        let hit = fault_sim.detected_faults(&targets, &sequence);
+                        for (&j, &detected) in remaining.iter().zip(&hit) {
+                            if detected {
+                                status[j] = Some(FaultStatus::Detected);
+                            }
+                        }
+                    }
+                    stats.test_vectors += sequence.len();
+                    sequences.push(sequence);
+                }
+                GenOutcome::Untestable => status[i] = Some(FaultStatus::Untestable),
+                GenOutcome::Aborted => status[i] = Some(FaultStatus::Aborted),
+            }
+        }
+
+        let status: Vec<FaultStatus> = status
+            .into_iter()
+            .map(|s| s.unwrap_or(FaultStatus::Aborted))
+            .collect();
+        stats.detected = status.iter().filter(|s| **s == FaultStatus::Detected).count();
+        stats.untestable = status
+            .iter()
+            .filter(|s| **s == FaultStatus::Untestable)
+            .count();
+        stats.aborted = status.iter().filter(|s| **s == FaultStatus::Aborted).count();
+        stats.sequences = sequences.len();
+        stats.cpu = start.elapsed();
+
+        AtpgRun {
+            status,
+            sequences,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LearningMode;
+    use sla_core::{LearnConfig, SequentialLearner};
+    use sla_netlist::{GateType, NetlistBuilder};
+    use sla_sim::{collapsed_fault_list, full_fault_list};
+
+    /// Small sequential circuit with a combinationally redundant gate.
+    fn sample() -> Netlist {
+        let mut b = NetlistBuilder::new("sample");
+        b.input("a");
+        b.input("b");
+        b.gate("na", GateType::Not, &["a"]).unwrap();
+        b.gate("tie0", GateType::And, &["a", "na"]).unwrap();
+        b.gate("g", GateType::Nand, &["a", "b"]).unwrap();
+        b.gate("h", GateType::Or, &["g", "tie0"]).unwrap();
+        b.dff("q", "h").unwrap();
+        b.gate("o", GateType::Xor, &["q", "b"]).unwrap();
+        b.output("o").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn run_classifies_every_fault_and_validates_tests() {
+        let n = sample();
+        let engine = AtpgEngine::new(&n, AtpgConfig::default()).unwrap();
+        let faults = collapsed_fault_list(&n);
+        let run = engine.run(&faults);
+        assert_eq!(run.status.len(), faults.len());
+        assert!(run.stats.detected > 0);
+        assert_eq!(
+            run.stats.detected + run.stats.untestable + run.stats.aborted,
+            run.stats.total_faults
+        );
+        // Every sequence actually detects at least one listed fault.
+        let sim = FaultSimulator::new(&n).unwrap();
+        for seq in &run.sequences {
+            assert!(faults.iter().any(|f| sim.detects(f, seq)));
+        }
+        assert!(run.stats.fault_coverage() > 0.0);
+        assert!(run.stats.test_coverage() >= run.stats.fault_coverage());
+    }
+
+    #[test]
+    fn learned_ties_classify_untestable_faults_without_search() {
+        let n = sample();
+        let learned = LearnedData::from(
+            &SequentialLearner::new(&n, LearnConfig::default())
+                .learn()
+                .unwrap(),
+        );
+        assert!(
+            learned.tied_value(n.require("tie0").unwrap()) == Some(false),
+            "learning must find the tied gate"
+        );
+        let faults = full_fault_list(&n);
+        let engine = AtpgEngine::new(&n, AtpgConfig::default())
+            .unwrap()
+            .with_learned(learned);
+        let run = engine.run(&faults);
+        assert!(run.stats.untestable_from_ties >= 1);
+        // The tie0 stuck-at-0 fault is among the untestable ones.
+        let tie0 = n.require("tie0").unwrap();
+        let idx = faults
+            .iter()
+            .position(|f| *f == Fault::output(tie0, false))
+            .unwrap();
+        assert_eq!(run.status[idx], FaultStatus::Untestable);
+    }
+
+    #[test]
+    fn learning_modes_do_not_lose_detections() {
+        let n = sample();
+        let learned = LearnedData::from(
+            &SequentialLearner::new(&n, LearnConfig::default())
+                .learn()
+                .unwrap(),
+        );
+        let faults = collapsed_fault_list(&n);
+        let baseline = AtpgEngine::new(&n, AtpgConfig::default())
+            .unwrap()
+            .run(&faults);
+        for mode in [LearningMode::ForbiddenValue, LearningMode::KnownValue] {
+            let run = AtpgEngine::new(&n, AtpgConfig::default().learning(mode))
+                .unwrap()
+                .with_learned(learned.clone())
+                .run(&faults);
+            assert!(
+                run.stats.detected + run.stats.untestable
+                    >= baseline.stats.detected,
+                "mode {mode:?} classified fewer faults than the baseline"
+            );
+            // Detected tests are always validated by the fault simulator.
+            let sim = FaultSimulator::new(&n).unwrap();
+            for seq in &run.sequences {
+                assert!(faults.iter().any(|f| sim.detects(f, seq)));
+            }
+        }
+    }
+
+    #[test]
+    fn fault_dropping_reduces_generated_sequences() {
+        let n = sample();
+        let faults = collapsed_fault_list(&n);
+        let with_drop = AtpgEngine::new(&n, AtpgConfig::default())
+            .unwrap()
+            .run(&faults);
+        let mut cfg = AtpgConfig::default();
+        cfg.fault_dropping = false;
+        let without_drop = AtpgEngine::new(&n, cfg).unwrap().run(&faults);
+        assert!(with_drop.stats.sequences <= without_drop.stats.sequences);
+        // Fault simulation of generated sequences can detect faults the
+        // generator itself aborted on (the paper relies on this effect), so
+        // dropping never lowers coverage.
+        assert!(with_drop.stats.detected >= without_drop.stats.detected);
+    }
+
+    #[test]
+    fn stats_cover_the_whole_fault_list() {
+        let n = sample();
+        let faults = full_fault_list(&n);
+        let run = AtpgEngine::new(&n, AtpgConfig::with_backtrack_limit(100))
+            .unwrap()
+            .run(&faults);
+        assert_eq!(run.stats.total_faults, faults.len());
+        assert!(run.stats.cpu.as_nanos() > 0);
+        assert_eq!(run.stats.sequences, run.sequences.len());
+    }
+}

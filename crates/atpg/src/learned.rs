@@ -1,0 +1,271 @@
+//! Packaging of sequential learning results for ATPG consumption, and the
+//! per-frame implication layer (forbidden / known values).
+
+use crate::config::LearningMode;
+use sla_core::{ImplicationDb, LearnResult, Literal};
+use sla_netlist::{Netlist, NodeId};
+use sla_sim::Logic3;
+use std::collections::HashMap;
+
+/// Learned data in the form the test generator consumes: the implication
+/// database plus tied-gate constants.
+#[derive(Debug, Clone, Default)]
+pub struct LearnedData {
+    /// Same-frame implications (with contrapositive closure).
+    pub implications: ImplicationDb,
+    /// Tied gates as constants.
+    pub tied: Vec<(NodeId, bool)>,
+}
+
+impl LearnedData {
+    /// Creates an empty set of learned data (equivalent to no learning).
+    pub fn new() -> Self {
+        LearnedData::default()
+    }
+
+    /// Extracts the ATPG-relevant part of a learning result.
+    pub fn from_learn_result(result: &LearnResult) -> Self {
+        LearnedData {
+            implications: result.implications.clone(),
+            tied: result.tied_constants(),
+        }
+    }
+
+    /// Returns the tied value of `node` if the node is tied.
+    pub fn tied_value(&self, node: NodeId) -> Option<bool> {
+        self.tied
+            .iter()
+            .find(|&&(n, _)| n == node)
+            .map(|&(_, v)| v)
+    }
+
+    /// Returns `true` when there is nothing to use.
+    pub fn is_empty(&self) -> bool {
+        self.implications.is_empty() && self.tied.is_empty()
+    }
+}
+
+impl From<&LearnResult> for LearnedData {
+    fn from(result: &LearnResult) -> Self {
+        LearnedData::from_learn_result(result)
+    }
+}
+
+/// The per-frame annotation layer derived from learned implications under the
+/// current (good-machine) assignments of one search point.
+///
+/// * In *forbidden-value* mode, `hint(node) = v` means "the complement of `v`
+///   is forbidden here": taking `¬v` is a conflict, and a backtrace that needs
+///   a value on this node should pick `v`.
+/// * In *known-value* mode, the hints are required values propagated with
+///   transitive closure.
+///
+/// In both modes a binary simulated value that contradicts a hint is a
+/// conflict that triggers an immediate backtrack.
+#[derive(Debug, Clone, Default)]
+pub struct ImplicationLayer {
+    /// `(frame, node) -> hinted value`.
+    hints: HashMap<(usize, u32), bool>,
+    /// Set when a contradiction was found while building the layer.
+    pub conflict: bool,
+}
+
+impl ImplicationLayer {
+    /// Builds the layer for a whole iterative array from the good-machine
+    /// values, under the given learning mode.
+    pub fn build(
+        netlist: &Netlist,
+        learned: &LearnedData,
+        mode: LearningMode,
+        good: &[Vec<Logic3>],
+    ) -> Self {
+        let mut layer = ImplicationLayer::default();
+        if !mode.uses_learning() || learned.implications.is_empty() {
+            return layer;
+        }
+        let _ = netlist;
+        for (frame, values) in good.iter().enumerate() {
+            // Seed: every binary simulated value fires its implications.
+            let mut queue: Vec<Literal> = Vec::new();
+            for (idx, v) in values.iter().enumerate() {
+                if let Some(b) = v.to_bool() {
+                    queue.push(Literal::new(NodeId(idx as u32), b));
+                }
+            }
+            let mut head = 0;
+            while head < queue.len() {
+                let lit = queue[head];
+                head += 1;
+                for consequent in learned.implications.consequents(lit) {
+                    let key = (frame, consequent.node.0);
+                    let sim_value = values[consequent.node.index()];
+                    if let Some(b) = sim_value.to_bool() {
+                        if b != consequent.value {
+                            layer.conflict = true;
+                        }
+                        continue;
+                    }
+                    match layer.hints.get(&key) {
+                        Some(&existing) if existing != consequent.value => {
+                            layer.conflict = true;
+                        }
+                        Some(_) => {}
+                        None => {
+                            layer.hints.insert(key, consequent.value);
+                            // Known-value mode chases implications transitively;
+                            // forbidden-value mode stops at direct consequents.
+                            if mode == LearningMode::KnownValue {
+                                queue.push(consequent);
+                            }
+                        }
+                    }
+                }
+            }
+            if layer.conflict {
+                return layer;
+            }
+        }
+        layer
+    }
+
+    /// The hinted value of `node` in `frame`, if any.
+    pub fn hint(&self, frame: usize, node: NodeId) -> Option<bool> {
+        self.hints.get(&(frame, node.0)).copied()
+    }
+
+    /// Number of hinted `(frame, node)` pairs.
+    pub fn len(&self) -> usize {
+        self.hints.len()
+    }
+
+    /// Returns `true` when the layer holds no hints.
+    pub fn is_empty(&self) -> bool {
+        self.hints.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sla_core::{Implication, LearnConfig, SequentialLearner};
+    use sla_netlist::{GateType, NetlistBuilder};
+
+    fn exclusive_pair() -> Netlist {
+        let mut b = NetlistBuilder::new("pair");
+        b.input("a");
+        b.gate("na", GateType::Not, &["a"]).unwrap();
+        b.gate("nf1", GateType::Not, &["f1"]).unwrap();
+        b.gate("nf2", GateType::Not, &["f2"]).unwrap();
+        b.gate("d1", GateType::And, &["a", "nf2"]).unwrap();
+        b.gate("d2", GateType::And, &["na", "nf1"]).unwrap();
+        b.dff("f1", "d1").unwrap();
+        b.dff("f2", "d2").unwrap();
+        b.output("f1").unwrap();
+        b.output("f2").unwrap();
+        b.build().unwrap()
+    }
+
+    fn learned_for(n: &Netlist) -> LearnedData {
+        let result = SequentialLearner::new(n, LearnConfig::default())
+            .learn()
+            .unwrap();
+        LearnedData::from(&result)
+    }
+
+    #[test]
+    fn from_learn_result_keeps_relations_and_ties() {
+        let n = exclusive_pair();
+        let learned = learned_for(&n);
+        assert!(!learned.is_empty());
+        let f1 = n.require("f1").unwrap();
+        let f2 = n.require("f2").unwrap();
+        assert!(learned.implications.implies(f1, true, f2, false));
+        assert_eq!(learned.tied_value(f1), None);
+    }
+
+    #[test]
+    fn layer_hints_follow_simulated_values() {
+        let n = exclusive_pair();
+        let learned = learned_for(&n);
+        let f1 = n.require("f1").unwrap();
+        let f2 = n.require("f2").unwrap();
+        let mut frame = vec![Logic3::X; n.num_nodes()];
+        frame[f1.index()] = Logic3::One;
+        let good = vec![frame];
+        let layer = ImplicationLayer::build(
+            &n,
+            &learned,
+            LearningMode::ForbiddenValue,
+            &good,
+        );
+        assert!(!layer.conflict);
+        assert_eq!(layer.hint(0, f2), Some(false));
+        assert_eq!(layer.hint(0, f1), None);
+        assert!(!layer.is_empty());
+    }
+
+    #[test]
+    fn contradicting_simulated_value_raises_conflict() {
+        let n = exclusive_pair();
+        let learned = learned_for(&n);
+        let f1 = n.require("f1").unwrap();
+        let f2 = n.require("f2").unwrap();
+        let mut frame = vec![Logic3::X; n.num_nodes()];
+        frame[f1.index()] = Logic3::One;
+        frame[f2.index()] = Logic3::One;
+        let layer = ImplicationLayer::build(
+            &n,
+            &learned,
+            LearningMode::ForbiddenValue,
+            &[frame],
+        );
+        assert!(layer.conflict, "f1=1 and f2=1 violates the learned relation");
+    }
+
+    #[test]
+    fn none_mode_produces_no_hints() {
+        let n = exclusive_pair();
+        let learned = learned_for(&n);
+        let f1 = n.require("f1").unwrap();
+        let mut frame = vec![Logic3::X; n.num_nodes()];
+        frame[f1.index()] = Logic3::One;
+        let layer = ImplicationLayer::build(&n, &learned, LearningMode::None, &[frame]);
+        assert!(layer.is_empty());
+        assert!(!layer.conflict);
+    }
+
+    #[test]
+    fn known_value_mode_chases_chains() {
+        // Handcrafted database: a=1 -> b=1 -> c=1 on three flip-flops.
+        let mut b = NetlistBuilder::new("chain");
+        b.input("i");
+        b.dff("a", "i").unwrap();
+        b.dff("bb", "a").unwrap();
+        b.dff("c", "bb").unwrap();
+        b.output("c").unwrap();
+        let n = b.build().unwrap();
+        let a = n.require("a").unwrap();
+        let bbn = n.require("bb").unwrap();
+        let c = n.require("c").unwrap();
+        let mut db = ImplicationDb::new();
+        db.add(
+            Implication::new(Literal::new(a, true), Literal::new(bbn, true)),
+            true,
+        );
+        db.add(
+            Implication::new(Literal::new(bbn, true), Literal::new(c, true)),
+            true,
+        );
+        let learned = LearnedData {
+            implications: db,
+            tied: Vec::new(),
+        };
+        let mut frame = vec![Logic3::X; n.num_nodes()];
+        frame[a.index()] = Logic3::One;
+        let forbidden =
+            ImplicationLayer::build(&n, &learned, LearningMode::ForbiddenValue, &[frame.clone()]);
+        let known = ImplicationLayer::build(&n, &learned, LearningMode::KnownValue, &[frame]);
+        assert_eq!(forbidden.hint(0, c), None, "forbidden mode stays direct");
+        assert_eq!(known.hint(0, c), Some(true), "known mode chases the chain");
+    }
+}

@@ -1,0 +1,61 @@
+//! Criterion bench: ATPG time with and without sequential learning on a
+//! retimed-style (low density of encoding) circuit — the Table 5 comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sla_atpg::{AtpgConfig, AtpgEngine, LearnedData, LearningMode};
+use sla_circuits::{retimed_circuit, RetimedConfig};
+use sla_core::{LearnConfig, SequentialLearner};
+use sla_sim::collapsed_fault_list;
+
+fn atpg_with_and_without_learning(c: &mut Criterion) {
+    let netlist = retimed_circuit(&RetimedConfig {
+        master_bits: 3,
+        derived_bits: 8,
+        extra_gates: 24,
+        inputs: 4,
+        ..RetimedConfig::default()
+    });
+    let mut faults = collapsed_fault_list(&netlist);
+    faults.truncate(60);
+    let learned = LearnedData::from(
+        &SequentialLearner::new(&netlist, LearnConfig::default())
+            .learn()
+            .expect("learning succeeds"),
+    );
+
+    let mut group = c.benchmark_group("atpg_retimed");
+    group.sample_size(10);
+    group.bench_function("no_learning", |b| {
+        b.iter(|| {
+            AtpgEngine::new(&netlist, AtpgConfig::with_backtrack_limit(30))
+                .expect("levelizes")
+                .run(&faults)
+        })
+    });
+    group.bench_function("forbidden_values", |b| {
+        b.iter(|| {
+            AtpgEngine::new(
+                &netlist,
+                AtpgConfig::with_backtrack_limit(30).learning(LearningMode::ForbiddenValue),
+            )
+            .expect("levelizes")
+            .with_learned(learned.clone())
+            .run(&faults)
+        })
+    });
+    group.bench_function("known_values", |b| {
+        b.iter(|| {
+            AtpgEngine::new(
+                &netlist,
+                AtpgConfig::with_backtrack_limit(30).learning(LearningMode::KnownValue),
+            )
+            .expect("levelizes")
+            .with_learned(learned.clone())
+            .run(&faults)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, atpg_with_and_without_learning);
+criterion_main!(benches);

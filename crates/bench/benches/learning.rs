@@ -1,0 +1,53 @@
+//! Criterion bench: sequential learning cost vs. circuit size (the scaling
+//! claim behind Table 3 — learning time grows roughly linearly with gates and
+//! stays far below ATPG time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sla_circuits::{build_profile, profile_by_name};
+use sla_core::{LearnConfig, SequentialLearner};
+
+fn learning_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequential_learning");
+    group.sample_size(10);
+    for name in ["s400", "s953", "s1423"] {
+        let profile = profile_by_name(name).expect("profile exists");
+        let netlist = build_profile(profile, 0.25);
+        group.bench_with_input(
+            BenchmarkId::new("learn", format!("{name}-{}g", netlist.num_gates())),
+            &netlist,
+            |b, netlist| {
+                b.iter(|| {
+                    SequentialLearner::new(netlist, LearnConfig::default())
+                        .learn()
+                        .expect("learning succeeds")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn learning_single_vs_multi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("learning_phases");
+    group.sample_size(10);
+    let profile = profile_by_name("s953").expect("profile exists");
+    let netlist = build_profile(profile, 0.25);
+    group.bench_function("single_node_only", |b| {
+        b.iter(|| {
+            SequentialLearner::new(&netlist, LearnConfig::single_node_only())
+                .learn()
+                .expect("learning succeeds")
+        })
+    });
+    group.bench_function("with_multiple_node", |b| {
+        b.iter(|| {
+            SequentialLearner::new(&netlist, LearnConfig::default())
+                .learn()
+                .expect("learning succeeds")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, learning_scaling, learning_single_vs_multi);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Benchmark circuits for the sequential-learning / ATPG experiments.
+//!
+//! The paper evaluates on ISCAS-89/93 netlists, four retimed circuits and
+//! three proprietary industrial designs, none of which can be redistributed
+//! here. This crate provides the substitution documented in `DESIGN.md`:
+//!
+//! * [`figures`] — reconstructions of the paper's Figure 1 / Figure 2 running
+//!   examples that exhibit every learning phenomenon the text walks through,
+//! * [`s27`] — the classic tiny ISCAS-89 sequential benchmark,
+//! * [`synth`] — a deterministic random sequential circuit generator
+//!   parameterized by input/output/flip-flop/gate counts,
+//! * [`retimed`] — a generator of circuits with a very low density of encoding
+//!   (many invalid states), the regime in which the paper's retimed circuits
+//!   make sequential ATPG hard,
+//! * [`industrial`] — a generator exercising the real-circuit features
+//!   (multiple clock domains, partial set/reset, multi-port latches),
+//! * [`profiles`] — named circuit profiles mirroring the rows of Table 3 /
+//!   Table 5, mapped onto the generators with a scale factor.
+
+pub mod figures;
+pub mod industrial;
+pub mod profiles;
+pub mod retimed;
+pub mod s27;
+pub mod synth;
+
+pub use figures::{paper_style_figure1, paper_style_figure2};
+pub use industrial::{industrial_circuit, IndustrialConfig};
+pub use profiles::{
+    build_profile, profile_by_name, CircuitClass, CircuitProfile, TABLE3_PROFILES,
+    TABLE4_PROFILES, TABLE5_PROFILES,
+};
+pub use retimed::{retimed_circuit, RetimedConfig};
+pub use s27::s27;
+pub use synth::{synthesize, SynthConfig};

@@ -1,0 +1,55 @@
+//! The ISCAS-89 `s27` benchmark, the standard tiny sequential test case.
+
+use sla_netlist::parser::parse_bench;
+use sla_netlist::Netlist;
+
+/// The `.bench` source of s27 (4 inputs, 1 output, 3 flip-flops, 10 gates).
+pub const S27_BENCH: &str = "\
+# s27 - ISCAS-89 sequential benchmark
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+";
+
+/// Parses and returns the s27 netlist.
+pub fn s27() -> Netlist {
+    parse_bench("s27", S27_BENCH).expect("embedded s27 source is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s27_statistics_match_the_benchmark() {
+        let n = s27();
+        assert_eq!(n.inputs().len(), 4);
+        assert_eq!(n.outputs().len(), 1);
+        assert_eq!(n.num_sequential(), 3);
+        assert_eq!(n.num_gates(), 10);
+        assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    fn s27_round_trips_through_the_writer() {
+        let n = s27();
+        let text = sla_netlist::writer::write_bench(&n);
+        let n2 = parse_bench("s27", &text).unwrap();
+        assert_eq!(n.num_nodes(), n2.num_nodes());
+    }
+}

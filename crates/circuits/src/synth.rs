@@ -1,0 +1,195 @@
+//! Deterministic synthetic sequential circuit generator.
+//!
+//! The generator builds a levelizable random DAG: each gate only references
+//! primary inputs, flip-flop outputs and previously created gates, and each
+//! flip-flop's data input is one of the gates, so the result is always a valid
+//! sequential circuit without combinational cycles. The statistics (gate
+//! count, flip-flop count, fanin distribution) are controlled by the
+//! configuration so the Table 3 / Table 5 profiles can mirror the paper's
+//! benchmark sizes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sla_netlist::{GateType, Netlist, NetlistBuilder};
+
+/// Parameters of the synthetic generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthConfig {
+    /// Circuit name.
+    pub name: String,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of flip-flops.
+    pub flip_flops: usize,
+    /// Number of combinational gates.
+    pub gates: usize,
+    /// Maximum gate fanin (at least 2).
+    pub max_fanin: usize,
+    /// Seed of the deterministic generator.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            name: "synthetic".to_string(),
+            inputs: 8,
+            outputs: 8,
+            flip_flops: 16,
+            gates: 120,
+            max_fanin: 3,
+            seed: 1,
+        }
+    }
+}
+
+impl SynthConfig {
+    /// A configuration named after and sized like a benchmark row.
+    pub fn sized(name: &str, flip_flops: usize, gates: usize, seed: u64) -> Self {
+        SynthConfig {
+            name: name.to_string(),
+            inputs: (gates / 20).clamp(4, 64),
+            outputs: (gates / 25).clamp(2, 64),
+            flip_flops: flip_flops.max(1),
+            gates: gates.max(4),
+            max_fanin: 3,
+            seed,
+        }
+    }
+}
+
+const GATE_CHOICES: [GateType; 7] = [
+    GateType::And,
+    GateType::Nand,
+    GateType::Or,
+    GateType::Nor,
+    GateType::Not,
+    GateType::Xor,
+    GateType::Buf,
+];
+
+/// Generates a synthetic sequential circuit.
+pub fn synthesize(config: &SynthConfig) -> Netlist {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = NetlistBuilder::new(config.name.clone());
+
+    let input_names: Vec<String> = (0..config.inputs.max(1)).map(|i| format!("i{i}")).collect();
+    for name in &input_names {
+        b.input(name);
+    }
+    let ff_names: Vec<String> = (0..config.flip_flops).map(|i| format!("f{i}")).collect();
+    let gate_names: Vec<String> = (0..config.gates).map(|i| format!("g{i}")).collect();
+
+    // Signals a gate may use: inputs and flip-flops are always available
+    // (forward references are resolved at build time); gates only reference
+    // earlier gates so the combinational logic stays acyclic.
+    let mut available: Vec<String> = input_names.clone();
+    available.extend(ff_names.iter().cloned());
+
+    for (idx, name) in gate_names.iter().enumerate() {
+        let gate = GATE_CHOICES[rng.gen_range(0..GATE_CHOICES.len())];
+        let fanin_count = match gate {
+            GateType::Not | GateType::Buf => 1,
+            _ => rng.gen_range(2..=config.max_fanin.max(2)),
+        };
+        let mut fanins: Vec<&str> = Vec::with_capacity(fanin_count);
+        for _ in 0..fanin_count {
+            // Bias toward recent gates to create deeper logic and reconvergence.
+            let pick = if idx > 0 && rng.gen_bool(0.6) {
+                let lo = available.len().saturating_sub(idx.min(20));
+                rng.gen_range(lo..available.len())
+            } else {
+                rng.gen_range(0..available.len())
+            };
+            fanins.push(available[pick].as_str());
+        }
+        b.gate(name, gate, &fanins)
+            .expect("generated gate arity is always legal");
+        available.push(name.clone());
+    }
+
+    // Flip-flop data inputs come from the generated gates (or inputs when the
+    // circuit is tiny).
+    for name in &ff_names {
+        let source = if gate_names.is_empty() {
+            input_names[rng.gen_range(0..input_names.len())].clone()
+        } else {
+            gate_names[rng.gen_range(0..gate_names.len())].clone()
+        };
+        b.dff(name, &source).expect("flip-flop names are unique");
+    }
+
+    // Primary outputs observe random gates and flip-flops.
+    let mut po_pool: Vec<&String> = gate_names.iter().chain(ff_names.iter()).collect();
+    if po_pool.is_empty() {
+        po_pool = input_names.iter().collect();
+    }
+    for _ in 0..config.outputs.max(1) {
+        let pick = po_pool[rng.gen_range(0..po_pool.len())];
+        b.output(pick).expect("output references an existing node");
+    }
+
+    b.build().expect("generator produces structurally valid circuits")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sla_netlist::levelize::levelize;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let cfg = SynthConfig::default();
+        let a = synthesize(&cfg);
+        let b = synthesize(&cfg);
+        assert_eq!(
+            sla_netlist::writer::write_bench(&a),
+            sla_netlist::writer::write_bench(&b)
+        );
+    }
+
+    #[test]
+    fn different_seeds_give_different_circuits() {
+        let a = synthesize(&SynthConfig::default());
+        let b = synthesize(&SynthConfig {
+            seed: 99,
+            ..SynthConfig::default()
+        });
+        assert_ne!(
+            sla_netlist::writer::write_bench(&a),
+            sla_netlist::writer::write_bench(&b)
+        );
+    }
+
+    #[test]
+    fn statistics_match_the_configuration() {
+        let cfg = SynthConfig::sized("s400-like", 21, 164, 7);
+        let n = synthesize(&cfg);
+        assert_eq!(n.num_sequential(), 21);
+        assert_eq!(n.num_gates(), 164);
+        assert!(n.validate().is_ok());
+        assert!(levelize(&n).is_ok(), "no combinational cycles");
+    }
+
+    #[test]
+    fn tiny_configurations_still_build() {
+        let cfg = SynthConfig {
+            inputs: 1,
+            outputs: 1,
+            flip_flops: 1,
+            gates: 4,
+            ..SynthConfig::default()
+        };
+        let n = synthesize(&cfg);
+        assert!(n.validate().is_ok());
+        assert_eq!(n.num_sequential(), 1);
+    }
+
+    #[test]
+    fn generated_circuits_have_fanout_stems() {
+        let n = synthesize(&SynthConfig::default());
+        assert!(!sla_netlist::stems::fanout_stems(&n).is_empty());
+    }
+}

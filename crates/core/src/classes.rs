@@ -1,0 +1,176 @@
+//! Clock-class partitioning of sequential elements (paper §3.3.2).
+//!
+//! To extract relations that are valid regardless of temporal alignment
+//! between clock domains, sequential elements are grouped into classes of
+//! elements driven by the same clock, at the same phase, with the same element
+//! kind (latches and flip-flops are kept apart even on the same clock because
+//! their capture times differ). Learning is performed for one class at a time:
+//! only elements of the active class propagate values across frames and only
+//! relations whose sequential endpoints lie in the active class are kept.
+
+use sla_netlist::{ClockEdge, ClockId, Netlist, NodeId, SeqKind};
+use std::collections::BTreeMap;
+
+/// One learning class: sequential elements sharing clock, phase and kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClockClass {
+    /// Driving clock.
+    pub clock: ClockId,
+    /// Capture edge / phase.
+    pub edge: ClockEdge,
+    /// Flip-flop or latch.
+    pub kind: SeqKind,
+    /// Members of the class, in arena order.
+    pub members: Vec<NodeId>,
+}
+
+impl ClockClass {
+    /// Human-readable label, e.g. `clk_a/rising/ff (12 elements)`.
+    pub fn describe(&self, netlist: &Netlist) -> String {
+        format!(
+            "{}/{}/{} ({} elements)",
+            netlist.clock_name(self.clock),
+            match self.edge {
+                ClockEdge::Rising => "rising",
+                ClockEdge::Falling => "falling",
+            },
+            match self.kind {
+                SeqKind::FlipFlop => "ff",
+                SeqKind::Latch => "latch",
+            },
+            self.members.len()
+        )
+    }
+
+    /// A node-indexed mask that is `true` exactly for the members of this
+    /// class, in the form expected by
+    /// [`sla_sim::InjectionSim::set_active_sequential`].
+    pub fn activation_mask(&self, netlist: &Netlist) -> Vec<bool> {
+        let mut mask = vec![false; netlist.num_nodes()];
+        for &m in &self.members {
+            mask[m.index()] = true;
+        }
+        mask
+    }
+
+    /// Returns `true` when `node` belongs to this class.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.members.contains(&node)
+    }
+}
+
+/// Partitions the sequential elements of `netlist` into clock classes, ordered
+/// by (clock, edge, kind).
+pub fn clock_classes(netlist: &Netlist) -> Vec<ClockClass> {
+    let mut map: BTreeMap<(ClockId, u8, u8), Vec<NodeId>> = BTreeMap::new();
+    for s in netlist.sequential_elements() {
+        let info = netlist.seq_info(s).expect("sequential element");
+        let edge_key = match info.edge {
+            ClockEdge::Rising => 0u8,
+            ClockEdge::Falling => 1,
+        };
+        let kind_key = match info.kind {
+            SeqKind::FlipFlop => 0u8,
+            SeqKind::Latch => 1,
+        };
+        map.entry((info.clock, edge_key, kind_key))
+            .or_default()
+            .push(s);
+    }
+    map.into_iter()
+        .map(|((clock, edge_key, kind_key), members)| ClockClass {
+            clock,
+            edge: if edge_key == 0 {
+                ClockEdge::Rising
+            } else {
+                ClockEdge::Falling
+            },
+            kind: if kind_key == 0 {
+                SeqKind::FlipFlop
+            } else {
+                SeqKind::Latch
+            },
+            members,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sla_netlist::{GateType, NetlistBuilder, SeqInfo};
+
+    #[test]
+    fn single_clock_gives_one_class() {
+        let mut b = NetlistBuilder::new("one");
+        b.input("a");
+        b.gate("g", GateType::Not, &["a"]).unwrap();
+        b.dff("f1", "g").unwrap();
+        b.dff("f2", "f1").unwrap();
+        b.output("f2").unwrap();
+        let n = b.build().unwrap();
+        let classes = clock_classes(&n);
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].members.len(), 2);
+        let mask = classes[0].activation_mask(&n);
+        assert!(mask[n.require("f1").unwrap().index()]);
+        assert!(!mask[n.require("g").unwrap().index()]);
+    }
+
+    #[test]
+    fn clocks_phases_and_kinds_are_separated() {
+        let mut b = NetlistBuilder::new("multi");
+        b.input("a");
+        let clk_b = b.clock("clk_b");
+        b.dff("f_default", "a").unwrap();
+        b.seq(
+            "f_other_clock",
+            "a",
+            SeqInfo {
+                clock: clk_b,
+                ..SeqInfo::default()
+            },
+        )
+        .unwrap();
+        b.seq(
+            "f_falling",
+            "a",
+            SeqInfo {
+                edge: ClockEdge::Falling,
+                ..SeqInfo::default()
+            },
+        )
+        .unwrap();
+        b.seq(
+            "l_latch",
+            "a",
+            SeqInfo {
+                kind: SeqKind::Latch,
+                ..SeqInfo::default()
+            },
+        )
+        .unwrap();
+        b.output("f_default").unwrap();
+        b.output("f_other_clock").unwrap();
+        b.output("f_falling").unwrap();
+        b.output("l_latch").unwrap();
+        let n = b.build().unwrap();
+        let classes = clock_classes(&n);
+        assert_eq!(classes.len(), 4, "each element lands in its own class");
+        for c in &classes {
+            assert_eq!(c.members.len(), 1);
+            assert!(c.contains(c.members[0]));
+            assert!(!c.describe(&n).is_empty());
+        }
+    }
+
+    #[test]
+    fn no_sequential_elements_means_no_classes() {
+        let mut b = NetlistBuilder::new("comb");
+        b.input("a");
+        b.gate("g", GateType::Not, &["a"]).unwrap();
+        b.output("g").unwrap();
+        let n = b.build().unwrap();
+        assert!(clock_classes(&n).is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! Configuration of the sequential learning engine.
+
+use sla_sim::EquivConfig;
+
+/// Tuning knobs of [`crate::SequentialLearner`].
+///
+/// The defaults reproduce the configuration used in the paper's experiments:
+/// 50-frame simulation, single- and multiple-node learning, gate-equivalence
+/// assistance, per-clock-class analysis and the real-circuit propagation rules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LearnConfig {
+    /// Maximum number of time frames a forward simulation may span (paper: 50).
+    pub max_frames: usize,
+    /// Run the multiple-node learning phase (paper §3.1, second half).
+    pub multiple_node: bool,
+    /// Use combinational gate equivalences to push values further.
+    pub gate_equivalence: bool,
+    /// Partition sequential elements into clock classes and learn per class
+    /// (paper §3.3.2). Disable only for single-clock experiments.
+    pub partition_by_clock_class: bool,
+    /// Apply the set/reset and multiple-port-latch propagation rules
+    /// (paper §3.3.1 / §3.3.3). Disabling them is unsound on real circuits and
+    /// exists only for ablation benches.
+    pub respect_seq_rules: bool,
+    /// Also collect relations between nodes at different time frames. They are
+    /// reported separately and are not used by the ATPG integration.
+    pub learn_cross_frame: bool,
+    /// Compute a bounded transitive closure of the learned implications after
+    /// learning (0 disables).
+    pub closure_limit: usize,
+    /// Configuration of the gate-equivalence detection pass.
+    pub equiv_config: EquivConfig,
+    /// Upper bound on the number of multiple-node learning targets (0 = no
+    /// bound). Large industrial circuits can have very many targets; the bound
+    /// keeps preprocessing time predictable while learning the most supported
+    /// targets first.
+    pub max_multi_node_targets: usize,
+}
+
+impl Default for LearnConfig {
+    fn default() -> Self {
+        LearnConfig {
+            max_frames: 50,
+            multiple_node: true,
+            gate_equivalence: true,
+            partition_by_clock_class: true,
+            respect_seq_rules: true,
+            learn_cross_frame: false,
+            closure_limit: 0,
+            equiv_config: EquivConfig::default(),
+            max_multi_node_targets: 0,
+        }
+    }
+}
+
+impl LearnConfig {
+    /// The paper's reference configuration (identical to `default()`).
+    pub fn paper() -> Self {
+        LearnConfig::default()
+    }
+
+    /// Single-node learning only (the first ablation of Table 2).
+    pub fn single_node_only() -> Self {
+        LearnConfig {
+            multiple_node: false,
+            gate_equivalence: false,
+            ..LearnConfig::default()
+        }
+    }
+
+    /// Single- and multiple-node learning without gate-equivalence assistance
+    /// (the second ablation of Table 2).
+    pub fn without_equivalence() -> Self {
+        LearnConfig {
+            gate_equivalence: false,
+            ..LearnConfig::default()
+        }
+    }
+
+    /// Purely combinational learning: simulation confined to a single frame.
+    /// Used to isolate what only sequential analysis can extract.
+    pub fn combinational_only() -> Self {
+        LearnConfig {
+            max_frames: 1,
+            ..LearnConfig::default()
+        }
+    }
+
+    /// Sets the frame limit, returning the modified configuration.
+    pub fn with_max_frames(mut self, frames: usize) -> Self {
+        self.max_frames = frames.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_settings() {
+        let c = LearnConfig::default();
+        assert_eq!(c.max_frames, 50);
+        assert!(c.multiple_node);
+        assert!(c.gate_equivalence);
+        assert!(c.partition_by_clock_class);
+        assert!(c.respect_seq_rules);
+        assert!(!c.learn_cross_frame);
+        assert_eq!(LearnConfig::paper(), c);
+    }
+
+    #[test]
+    fn ablation_constructors() {
+        assert!(!LearnConfig::single_node_only().multiple_node);
+        assert!(!LearnConfig::single_node_only().gate_equivalence);
+        assert!(!LearnConfig::without_equivalence().gate_equivalence);
+        assert!(LearnConfig::without_equivalence().multiple_node);
+        assert_eq!(LearnConfig::combinational_only().max_frames, 1);
+        assert_eq!(LearnConfig::default().with_max_frames(0).max_frames, 1);
+        assert_eq!(LearnConfig::default().with_max_frames(7).max_frames, 7);
+    }
+}

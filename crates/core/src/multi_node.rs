@@ -1,0 +1,355 @@
+//! Multiple-node learning (paper §3.1, second half) and conflict-based tie
+//! learning (paper §3.2, second criterion).
+//!
+//! For every `(node, value)` produced by two or more stem assignments, the
+//! contrapositive value on the node implies the contrapositive of *all* those
+//! stem assignments simultaneously. Injecting them together — each at its own
+//! frame offset — and simulating forward finds relations that no single-stem
+//! (or backward/forward) analysis can reach, such as the `G9=0 → F2=0` example
+//! of Figure 2 of the paper. A contradiction during this simulation means the
+//! learning target itself cannot take the assumed value, i.e. it is tied.
+
+use crate::relation::{CrossImplication, Implication, Literal};
+use crate::single_node::{keep_relation, SupportMap};
+use crate::tie::{TieKind, TiedGate};
+use sla_netlist::NodeId;
+use sla_sim::{Injection, InjectionSim, SimOptions};
+use std::collections::HashMap;
+
+/// Everything learned by a multiple-node pass.
+#[derive(Debug, Default)]
+pub struct MultiNodeOutcome {
+    /// Same-frame relations with the "required sequential analysis" flag.
+    pub implications: Vec<(Implication, bool)>,
+    /// Optional cross-frame relations.
+    pub cross_frame: Vec<CrossImplication>,
+    /// Targets proven tied by conflicts.
+    pub ties: Vec<TiedGate>,
+    /// Number of learning targets processed.
+    pub targets_processed: usize,
+}
+
+/// One prepared learning target.
+#[derive(Debug, Clone)]
+struct Target {
+    injections: Vec<Injection>,
+    /// Latest supporting frame, i.e. the frame of the hypothesis.
+    horizon: usize,
+    /// `true` when the support is contradictory and the target is tied outright.
+    contradictory: bool,
+}
+
+/// Builds the injection set of a learning target from its support entries.
+///
+/// Support entry `(stem, w, t)` means `stem=w @ 0` produces `node=produced`
+/// at frame `t`; the hypothesis `node = !produced @ horizon` therefore forces
+/// `stem = !w @ horizon - t`.
+fn prepare_target(node: NodeId, produced: bool, entries: &[(NodeId, bool, usize)]) -> Target {
+    let horizon = entries.iter().map(|&(_, _, t)| t).max().unwrap_or(0);
+    let mut by_slot: HashMap<(NodeId, usize), bool> = HashMap::new();
+    let mut contradictory = false;
+    for &(stem, w, t) in entries {
+        let frame = horizon - t;
+        match by_slot.insert((stem, frame), !w) {
+            Some(prev) if prev != !w => contradictory = true,
+            _ => {}
+        }
+    }
+    let mut injections: Vec<Injection> = by_slot
+        .into_iter()
+        .map(|((stem, frame), value)| Injection::new(stem, value, frame))
+        .collect();
+    injections.sort_by_key(|i| (i.frame, i.node, i.value));
+    // The hypothesis itself is injected too: it can enable further propagation
+    // and a contradiction on it is exactly the tie-learning conflict.
+    injections.push(Injection::new(node, !produced, horizon));
+    Target {
+        injections,
+        horizon,
+        contradictory,
+    }
+}
+
+/// Runs multiple-node learning over the support map.
+///
+/// The simulator must already carry the equivalences, tied constants and
+/// active-class mask of the enclosing learning pass; ties discovered here are
+/// added to it on the fly so later targets benefit (this is what lets the
+/// `G15` example of the paper be proven tied).
+#[allow(clippy::too_many_arguments)]
+pub fn run(
+    sim: &mut InjectionSim<'_>,
+    support: &SupportMap,
+    options: &SimOptions,
+    class_mask: Option<&[bool]>,
+    max_targets: usize,
+    learn_cross_frame: bool,
+) -> MultiNodeOutcome {
+    let netlist = sim.netlist();
+    let mut outcome = MultiNodeOutcome::default();
+
+    // Deterministic target order: most-supported first (they yield the most
+    // relations), ties broken by node id and value.
+    let mut targets: Vec<(&(NodeId, bool), &Vec<(NodeId, bool, usize)>)> = support
+        .iter()
+        .filter(|(_, entries)| entries.len() >= 2)
+        .collect();
+    targets.sort_by(|a, b| {
+        b.1.len()
+            .cmp(&a.1.len())
+            .then(a.0 .0.cmp(&b.0 .0))
+            .then(a.0 .1.cmp(&b.0 .1))
+    });
+    if max_targets > 0 {
+        targets.truncate(max_targets);
+    }
+
+    for (&(node, produced), entries) in targets {
+        if netlist.node(node).is_input() {
+            continue;
+        }
+        if sim.tied().iter().any(|&(n, _)| n == node) {
+            continue;
+        }
+        let target = prepare_target(node, produced, entries);
+        outcome.targets_processed += 1;
+
+        if target.contradictory {
+            let tie = TiedGate::new(node, produced, tie_kind(target.horizon));
+            sim.add_tied(node, produced);
+            outcome.ties.push(tie);
+            continue;
+        }
+
+        let run_options = SimOptions {
+            max_frames: target.horizon + 1,
+            stop_on_repeat: false,
+            respect_seq_rules: options.respect_seq_rules,
+        };
+        let trace = sim.run(&target.injections, &run_options);
+
+        if trace.conflict.is_some() {
+            // The hypothesis `node = !produced` is impossible: tied to `produced`.
+            let tie = TiedGate::new(node, produced, tie_kind(target.horizon));
+            sim.add_tied(node, produced);
+            outcome.ties.push(tie);
+            continue;
+        }
+
+        let hypothesis = Literal::new(node, !produced);
+        let sequential = target.horizon > 0;
+        if trace.num_frames() > target.horizon {
+            for (other, value) in trace.assignments(target.horizon) {
+                if other == node {
+                    continue;
+                }
+                if !keep_relation(netlist, class_mask, node, other) {
+                    continue;
+                }
+                outcome.implications.push((
+                    Implication::new(hypothesis, Literal::new(other, value)),
+                    sequential,
+                ));
+            }
+            if learn_cross_frame {
+                for t in 0..target.horizon {
+                    for (other, value) in trace.assignments(t) {
+                        if other == node || netlist.node(other).is_input() {
+                            continue;
+                        }
+                        outcome.cross_frame.push(CrossImplication {
+                            antecedent: hypothesis,
+                            consequent: Literal::new(other, value),
+                            offset: t as i32 - target.horizon as i32,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    outcome
+}
+
+fn tie_kind(horizon: usize) -> TieKind {
+    if horizon == 0 {
+        TieKind::Combinational
+    } else {
+        TieKind::Sequential
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::single_node;
+    use sla_netlist::{GateType, NetlistBuilder, Netlist};
+    use sla_sim::Logic3;
+
+    /// The Figure-2 phenomenon, reduced to its core: each of `i2=0` and `i3=0`
+    /// alone forces `g9=1` one frame later, so `g9=0` implies both were 1,
+    /// which forces `f2=0` in the same frame as `g9`. No single-stem analysis
+    /// can find `g9=0 -> f2=0`.
+    fn figure2_core() -> Netlist {
+        let mut b = NetlistBuilder::new("fig2core");
+        b.input("i2");
+        b.input("i3");
+        // Branch the inputs so they are fanout stems.
+        b.gate("ni2", GateType::Not, &["i2"]).unwrap();
+        b.gate("ni3", GateType::Not, &["i3"]).unwrap();
+        b.dff("fa", "ni2").unwrap();
+        b.dff("fb", "ni3").unwrap();
+        b.gate("g9", GateType::Or, &["fa", "fb"]).unwrap();
+        // f2 captures i2 AND i3 one frame earlier than g9 is observed... the
+        // same frame as g9: f2 <- AND(i2, i3) so f2 and g9 are aligned.
+        b.gate("d2", GateType::Nand, &["i2", "i3"]).unwrap();
+        b.dff("f2", "d2").unwrap();
+        // Extra fanout so i2/i3 really are stems.
+        b.gate("u1", GateType::Buf, &["i2"]).unwrap();
+        b.gate("u2", GateType::Buf, &["i3"]).unwrap();
+        b.output("g9").unwrap();
+        b.output("f2").unwrap();
+        b.output("u1").unwrap();
+        b.output("u2").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn prepare_target_aligns_frames_and_detects_contradictions() {
+        let n = figure2_core();
+        let i2 = n.require("i2").unwrap();
+        let i3 = n.require("i3").unwrap();
+        let g9 = n.require("g9").unwrap();
+        let t = prepare_target(g9, true, &[(i2, false, 1), (i3, false, 1)]);
+        assert_eq!(t.horizon, 1);
+        assert!(!t.contradictory);
+        assert!(t.injections.contains(&Injection::new(i2, true, 0)));
+        assert!(t.injections.contains(&Injection::new(i3, true, 0)));
+        assert!(t.injections.contains(&Injection::new(g9, false, 1)));
+        // Contradictory support: the same stem must be both 0 and 1 at frame 0.
+        let t2 = prepare_target(g9, true, &[(i2, false, 1), (i2, true, 1)]);
+        assert!(t2.contradictory);
+    }
+
+    #[test]
+    fn finds_relation_unreachable_by_single_node_learning() {
+        let n = figure2_core();
+        let g9 = n.require("g9").unwrap();
+        let f2 = n.require("f2").unwrap();
+        let stems = sla_netlist::stems::fanout_stems(&n);
+        let sim = InjectionSim::new(&n).unwrap();
+        let options = SimOptions::default();
+        let single = single_node::run(&sim, &stems, &options, None, false);
+        // Multiple-node learning target: g9=0 forces i2=1 and i3=1 one frame
+        // earlier, which forces d2=NAND(1,1)=0, captured by f2 -> g9=0 -> f2=0.
+        let wanted = Implication::new(Literal::new(g9, false), Literal::new(f2, false));
+        // Single-node learning cannot see it (g9 and f2 are set by the same
+        // stem polarity, never by opposite ones).
+        assert!(
+            !single.implications.iter().any(|(imp, _)| *imp == wanted
+                || *imp == wanted.contrapositive()),
+            "single-node learning should not find g9=0 -> f2=0"
+        );
+        let mut sim = InjectionSim::new(&n).unwrap();
+        let multi = run(&mut sim, &single.support, &options, None, 0, false);
+        assert!(
+            multi.implications.iter().any(|(imp, _)| *imp == wanted),
+            "multiple-node learning must find g9=0 -> f2=0; got {:?}",
+            multi
+                .implications
+                .iter()
+                .map(|(i, _)| i.describe(&n))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    /// A target whose hypothesis is self-contradictory: g = OR(f1, f2) where
+    /// both flip-flops are forced to 1 whenever g was 0 one frame earlier is
+    /// awkward to build minimally, so instead use the direct conflict: the
+    /// hypothesis value is recomputed as its complement inside the same frame.
+    #[test]
+    fn conflict_during_injection_learns_a_tie() {
+        let mut b = NetlistBuilder::new("tieconflict");
+        b.input("a");
+        b.input("b");
+        // g = OR(x, y): x and y both go to 1 whenever a=0 or b=0 at the same
+        // frame; g can only be 0 if x=y=0 which forces a=1 and b=1, but then
+        // z = AND(a,b) = 1 feeds the OR as well, a contradiction -> g tied to 1.
+        b.gate("x", GateType::Not, &["a"]).unwrap();
+        b.gate("y", GateType::Not, &["b"]).unwrap();
+        b.gate("z", GateType::And, &["a", "b"]).unwrap();
+        b.gate("g", GateType::Or, &["x", "y", "z"]).unwrap();
+        b.dff("f", "g").unwrap();
+        b.output("f").unwrap();
+        let n = b.build().unwrap();
+        let g = n.require("g").unwrap();
+        let stems = sla_netlist::stems::fanout_stems(&n);
+        let sim = InjectionSim::new(&n).unwrap();
+        let options = SimOptions::default();
+        let single = single_node::run(&sim, &stems, &options, None, false);
+        assert!(
+            single.support.get(&(g, true)).map(|e| e.len()).unwrap_or(0) >= 2,
+            "g=1 must be supported by both input stems"
+        );
+        let mut sim = InjectionSim::new(&n).unwrap();
+        let multi = run(&mut sim, &single.support, &options, None, 0, false);
+        assert!(
+            multi.ties.iter().any(|t| t.node == g && t.value),
+            "g must be learned tied to 1, got {:?}",
+            multi.ties
+        );
+        // The tie is also registered with the simulator for later targets.
+        assert!(sim.tied().iter().any(|&(node, v)| node == g && v));
+    }
+
+    #[test]
+    fn already_tied_targets_are_skipped() {
+        let n = figure2_core();
+        let g9 = n.require("g9").unwrap();
+        let stems = sla_netlist::stems::fanout_stems(&n);
+        let base = InjectionSim::new(&n).unwrap();
+        let single = single_node::run(&base, &stems, &SimOptions::default(), None, false);
+        let mut sim = InjectionSim::new(&n).unwrap();
+        sim.add_tied(g9, true);
+        let multi = run(
+            &mut sim,
+            &single.support,
+            &SimOptions::default(),
+            None,
+            0,
+            false,
+        );
+        assert!(multi
+            .implications
+            .iter()
+            .all(|(imp, _)| imp.antecedent.node != g9));
+    }
+
+    #[test]
+    fn max_targets_bounds_the_work() {
+        let n = figure2_core();
+        let stems = sla_netlist::stems::fanout_stems(&n);
+        let base = InjectionSim::new(&n).unwrap();
+        let single = single_node::run(&base, &stems, &SimOptions::default(), None, false);
+        let mut sim = InjectionSim::new(&n).unwrap();
+        let limited = run(
+            &mut sim,
+            &single.support,
+            &SimOptions::default(),
+            None,
+            1,
+            false,
+        );
+        assert!(limited.targets_processed <= 1);
+    }
+
+    #[test]
+    fn figure2_core_sanity_simulation() {
+        // Cross-check the hand analysis of the helper circuit.
+        let n = figure2_core();
+        let sim = InjectionSim::new(&n).unwrap();
+        let i2 = n.require("i2").unwrap();
+        let g9 = n.require("g9").unwrap();
+        let trace = sim.run(&[Injection::new(i2, false, 0)], &SimOptions::default());
+        assert_eq!(trace.value(1, g9), Logic3::One);
+    }
+}

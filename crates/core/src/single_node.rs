@@ -1,0 +1,381 @@
+//! Single-node learning (paper §3.1, first half) and tie extraction from stem
+//! simulation (paper §3.2, first criterion).
+//!
+//! For every fanout stem both logic values are injected at frame 0 and
+//! simulated forward. With `s=0 → g1=v1 @ t` and `s=1 → g2=v2 @ t`, the
+//! contrapositive law gives the same-frame relation `g1=¬v1 → g2=v2`.
+//! A node driven to the *same* value at the same frame by both polarities is a
+//! tied gate. The per-stem traces also populate the *support map* — for every
+//! `(node, value)` the set of stem assignments that produce it — which is the
+//! input of the multiple-node learning phase.
+
+use crate::relation::{CrossImplication, Implication, Literal};
+use crate::tie::{TieKind, TiedGate};
+use sla_netlist::{Netlist, NodeId};
+use sla_sim::{Injection, InjectionSim, Logic3, SimOptions, Trace};
+use std::collections::HashMap;
+
+/// For every `(node, value)`: the list of `(stem, stem_value, frame)` stem
+/// assignments whose forward simulation sets the node to that value at that
+/// frame offset.
+pub type SupportMap = HashMap<(NodeId, bool), Vec<(NodeId, bool, usize)>>;
+
+/// Decides whether a relation between two endpoints is worth keeping.
+///
+/// The paper only extracts relations between pairs of sequential elements and
+/// between gates and sequential elements (gate–gate relations follow from
+/// those, primary inputs are free variables); with multiple clock domains the
+/// sequential endpoints must additionally belong to the active class.
+pub fn keep_relation(
+    netlist: &Netlist,
+    class_mask: Option<&[bool]>,
+    a: NodeId,
+    b: NodeId,
+) -> bool {
+    let na = netlist.node(a);
+    let nb = netlist.node(b);
+    if na.is_input() || nb.is_input() {
+        return false;
+    }
+    if !(na.is_sequential() || nb.is_sequential()) {
+        return false;
+    }
+    if let Some(mask) = class_mask {
+        if na.is_sequential() && !mask[a.index()] {
+            return false;
+        }
+        if nb.is_sequential() && !mask[b.index()] {
+            return false;
+        }
+    }
+    true
+}
+
+/// Everything learned by one single-node pass over a set of stems.
+#[derive(Debug, Default)]
+pub struct SingleNodeOutcome {
+    /// Same-frame relations with the flag "required sequential analysis".
+    pub implications: Vec<(Implication, bool)>,
+    /// Optional cross-frame relations (only filled when requested).
+    pub cross_frame: Vec<CrossImplication>,
+    /// Tied gates found by the same-value-under-both-polarities criterion.
+    pub ties: Vec<TiedGate>,
+    /// Support map feeding the multiple-node phase.
+    pub support: SupportMap,
+    /// Number of stems actually simulated.
+    pub stems_processed: usize,
+}
+
+/// Simulates both polarities of one stem.
+pub fn simulate_stem(sim: &InjectionSim<'_>, stem: NodeId, options: &SimOptions) -> (Trace, Trace) {
+    let t0 = sim.run(&[Injection::new(stem, false, 0)], options);
+    let t1 = sim.run(&[Injection::new(stem, true, 0)], options);
+    (t0, t1)
+}
+
+/// Extracts tied gates from the two traces of a stem: a node holding the same
+/// binary value at the same frame under both polarities can only ever hold
+/// that value (combinational tie at frame 0, sequential tie otherwise).
+pub fn extract_ties(
+    netlist: &Netlist,
+    stem: NodeId,
+    trace0: &Trace,
+    trace1: &Trace,
+) -> Vec<TiedGate> {
+    let mut ties: Vec<TiedGate> = Vec::new();
+    let frames = trace0.num_frames().min(trace1.num_frames());
+    for t in 0..frames {
+        for (node, value) in trace0.assignments(t) {
+            if node == stem || netlist.node(node).is_input() {
+                continue;
+            }
+            if trace1.value(t, node) == Logic3::from_bool(value) {
+                let kind = if t == 0 {
+                    TieKind::Combinational
+                } else {
+                    TieKind::Sequential
+                };
+                if let Some(existing) = ties.iter_mut().find(|tg| tg.node == node) {
+                    if kind == TieKind::Combinational {
+                        existing.kind = TieKind::Combinational;
+                    }
+                } else {
+                    ties.push(TiedGate::new(node, value, kind));
+                }
+            }
+        }
+    }
+    ties
+}
+
+/// Extracts same-frame relations by pairing the assignments of the two traces
+/// at equal frames (contrapositive law), restricted by `keep_relation`.
+pub fn extract_relations(
+    netlist: &Netlist,
+    stem: NodeId,
+    trace0: &Trace,
+    trace1: &Trace,
+    class_mask: Option<&[bool]>,
+) -> Vec<(Implication, bool)> {
+    let mut out = Vec::new();
+    let frames = trace0.num_frames().min(trace1.num_frames());
+    for t in 0..frames {
+        let a0: Vec<(NodeId, bool)> = trace0.assignments(t).collect();
+        let a1: Vec<(NodeId, bool)> = trace1.assignments(t).collect();
+        // Keep the pair loop tractable: a relation must involve at least one
+        // sequential element, so pair "sequential assignments of one trace"
+        // against "all assignments of the other".
+        let seq0: Vec<(NodeId, bool)> = a0
+            .iter()
+            .copied()
+            .filter(|(n, _)| netlist.node(*n).is_sequential())
+            .collect();
+        let seq1: Vec<(NodeId, bool)> = a1
+            .iter()
+            .copied()
+            .filter(|(n, _)| netlist.node(*n).is_sequential())
+            .collect();
+        let sequential = t > 0;
+        let mut push = |g1: NodeId, v1: bool, g2: NodeId, v2: bool| {
+            if g1 == g2 || g1 == stem && g2 == stem {
+                return;
+            }
+            if !keep_relation(netlist, class_mask, g1, g2) {
+                return;
+            }
+            // trace0 carries s=0, trace1 carries s=1:
+            //   g1 = !v1  =>  s = 1  =>  g2 = v2.
+            out.push((
+                Implication::new(Literal::new(g1, !v1), Literal::new(g2, v2)),
+                sequential,
+            ));
+        };
+        for &(g1, v1) in &a0 {
+            for &(g2, v2) in &seq1 {
+                push(g1, v1, g2, v2);
+            }
+        }
+        for &(g1, v1) in &seq0 {
+            for &(g2, v2) in &a1 {
+                if netlist.node(g2).is_sequential() {
+                    continue; // already covered above
+                }
+                push(g1, v1, g2, v2);
+            }
+        }
+    }
+    out
+}
+
+/// Extracts cross-frame relations directly from one trace: `stem=value @ 0`
+/// implies every recorded assignment at its frame, so the contrapositive links
+/// the assignment back to the stem across `frame` time frames.
+pub fn extract_cross_frame(
+    netlist: &Netlist,
+    stem: NodeId,
+    value: bool,
+    trace: &Trace,
+) -> Vec<CrossImplication> {
+    let mut out = Vec::new();
+    for t in 1..trace.num_frames() {
+        for (node, v) in trace.assignments(t) {
+            if node == stem || netlist.node(node).is_input() {
+                continue;
+            }
+            out.push(CrossImplication {
+                antecedent: Literal::new(node, !v),
+                consequent: Literal::new(stem, !value),
+                offset: -(t as i32),
+            });
+        }
+    }
+    out
+}
+
+/// Adds the assignments of one stem trace to the support map.
+pub fn accumulate_support(
+    netlist: &Netlist,
+    stem: NodeId,
+    value: bool,
+    trace: &Trace,
+    support: &mut SupportMap,
+) {
+    for t in 0..trace.num_frames() {
+        for (node, v) in trace.assignments(t) {
+            if node == stem || netlist.node(node).is_input() {
+                continue;
+            }
+            support.entry((node, v)).or_default().push((stem, value, t));
+        }
+    }
+}
+
+/// Runs single-node learning over `stems` using an already configured
+/// simulator (equivalences, tied constants and the active clock class are
+/// taken from the simulator state).
+pub fn run(
+    sim: &InjectionSim<'_>,
+    stems: &[NodeId],
+    options: &SimOptions,
+    class_mask: Option<&[bool]>,
+    learn_cross_frame: bool,
+) -> SingleNodeOutcome {
+    let netlist = sim.netlist();
+    let mut outcome = SingleNodeOutcome::default();
+    for &stem in stems {
+        let (t0, t1) = simulate_stem(sim, stem, options);
+        outcome
+            .ties
+            .extend(extract_ties(netlist, stem, &t0, &t1));
+        outcome
+            .implications
+            .extend(extract_relations(netlist, stem, &t0, &t1, class_mask));
+        if learn_cross_frame {
+            outcome
+                .cross_frame
+                .extend(extract_cross_frame(netlist, stem, false, &t0));
+            outcome
+                .cross_frame
+                .extend(extract_cross_frame(netlist, stem, true, &t1));
+        }
+        accumulate_support(netlist, stem, false, &t0, &mut outcome.support);
+        accumulate_support(netlist, stem, true, &t1, &mut outcome.support);
+        outcome.stems_processed += 1;
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sla_netlist::{GateType, NetlistBuilder};
+
+    /// `z = AND(i1, NOT i1)` is combinationally tied to 0; the flip-flop pair
+    /// (f1, f2) can never both be 1 because their data inputs are an AND with
+    /// complementary first operands.
+    fn sample() -> Netlist {
+        let mut b = NetlistBuilder::new("single");
+        b.input("i1");
+        b.input("i2");
+        b.gate("ni1", GateType::Not, &["i1"]).unwrap();
+        b.gate("z", GateType::And, &["i1", "ni1"]).unwrap();
+        b.gate("d1", GateType::And, &["i2", "nf2"]).unwrap();
+        b.gate("d2", GateType::And, &["ni2", "nf1"]).unwrap();
+        b.gate("ni2", GateType::Not, &["i2"]).unwrap();
+        b.gate("nf1", GateType::Not, &["f1"]).unwrap();
+        b.gate("nf2", GateType::Not, &["f2"]).unwrap();
+        b.dff("f1", "d1").unwrap();
+        b.dff("f2", "d2").unwrap();
+        b.gate("o", GateType::Or, &["f1", "f2", "z"]).unwrap();
+        b.output("o").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn combinational_tie_found_from_stem_polarities() {
+        let n = sample();
+        let sim = InjectionSim::new(&n).unwrap();
+        let i1 = n.require("i1").unwrap();
+        let z = n.require("z").unwrap();
+        let (t0, t1) = simulate_stem(&sim, i1, &SimOptions::default());
+        let ties = extract_ties(&n, i1, &t0, &t1);
+        assert!(ties
+            .iter()
+            .any(|t| t.node == z && !t.value && t.kind == TieKind::Combinational));
+    }
+
+    #[test]
+    fn invalid_state_relation_found_from_input_stem() {
+        let n = sample();
+        let sim = InjectionSim::new(&n).unwrap();
+        let i2 = n.require("i2").unwrap();
+        let f1 = n.require("f1").unwrap();
+        let f2 = n.require("f2").unwrap();
+        let (t0, t1) = simulate_stem(&sim, i2, &SimOptions::default());
+        // i2=0 -> d1=0 -> f1=0 @1 ; i2=1 -> d2=0 -> f2=0 @1.
+        assert_eq!(t0.value(1, f1), Logic3::Zero);
+        assert_eq!(t1.value(1, f2), Logic3::Zero);
+        let rels = extract_relations(&n, i2, &t0, &t1, None);
+        let expected = Implication::new(Literal::new(f1, true), Literal::new(f2, false));
+        assert!(
+            rels.iter().any(|(imp, seq)| *imp == expected && *seq),
+            "expected f1=1 -> f2=0 as a sequential relation, got {:?}",
+            rels.iter().map(|(i, _)| i.describe(&n)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn relations_never_involve_primary_inputs_or_gate_gate_pairs() {
+        let n = sample();
+        let sim = InjectionSim::new(&n).unwrap();
+        let options = SimOptions::default();
+        let stems = sla_netlist::stems::fanout_stems(&n);
+        let outcome = run(&sim, &stems, &options, None, false);
+        for (imp, _) in &outcome.implications {
+            let a = n.node(imp.antecedent.node);
+            let c = n.node(imp.consequent.node);
+            assert!(!a.is_input() && !c.is_input(), "{}", imp.describe(&n));
+            assert!(
+                a.is_sequential() || c.is_sequential(),
+                "{}",
+                imp.describe(&n)
+            );
+        }
+    }
+
+    #[test]
+    fn support_map_records_stem_assignments() {
+        let n = sample();
+        let sim = InjectionSim::new(&n).unwrap();
+        let i2 = n.require("i2").unwrap();
+        let f1 = n.require("f1").unwrap();
+        let (t0, _t1) = simulate_stem(&sim, i2, &SimOptions::default());
+        let mut support = SupportMap::new();
+        accumulate_support(&n, i2, false, &t0, &mut support);
+        let entries = support
+            .get(&(f1, false))
+            .expect("f1=0 must be supported by i2=0");
+        assert!(entries.contains(&(i2, false, 1)));
+    }
+
+    #[test]
+    fn class_mask_filters_out_foreign_flip_flops() {
+        let n = sample();
+        let sim = InjectionSim::new(&n).unwrap();
+        let i2 = n.require("i2").unwrap();
+        let f1 = n.require("f1").unwrap();
+        let (t0, t1) = simulate_stem(&sim, i2, &SimOptions::default());
+        // Mask excludes f1: no kept relation may have f1 as an endpoint.
+        let mut mask = vec![true; n.num_nodes()];
+        mask[f1.index()] = false;
+        let rels = extract_relations(&n, i2, &t0, &t1, Some(&mask));
+        assert!(rels
+            .iter()
+            .all(|(imp, _)| imp.antecedent.node != f1 && imp.consequent.node != f1));
+    }
+
+    #[test]
+    fn cross_frame_relations_point_back_to_the_stem() {
+        let n = sample();
+        let sim = InjectionSim::new(&n).unwrap();
+        let i2 = n.require("i2").unwrap();
+        let f1 = n.require("f1").unwrap();
+        let (t0, _) = simulate_stem(&sim, i2, &SimOptions::default());
+        let cross = extract_cross_frame(&n, i2, false, &t0);
+        // f1=0 @1 came from i2=0 @0, so f1=1 implies i2=1 one frame earlier.
+        assert!(cross.iter().any(|c| c.antecedent == Literal::new(f1, true)
+            && c.consequent == Literal::new(i2, true)
+            && c.offset == -1));
+    }
+
+    #[test]
+    fn run_processes_every_stem() {
+        let n = sample();
+        let sim = InjectionSim::new(&n).unwrap();
+        let stems = sla_netlist::stems::fanout_stems(&n);
+        let outcome = run(&sim, &stems, &SimOptions::default(), None, true);
+        assert_eq!(outcome.stems_processed, stems.len());
+        assert!(!outcome.support.is_empty());
+        assert!(!outcome.cross_frame.is_empty());
+    }
+}

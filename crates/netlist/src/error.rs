@@ -1,0 +1,76 @@
+use std::fmt;
+
+/// Errors produced while building, parsing or analysing a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A node name was referenced before it was defined.
+    UnknownNode(String),
+    /// A node name was defined twice.
+    DuplicateNode(String),
+    /// A gate was declared with an arity its type does not support.
+    BadArity {
+        /// Name of the offending node.
+        name: String,
+        /// Gate type as written.
+        gate: String,
+        /// Number of fanins supplied.
+        got: usize,
+    },
+    /// The combinational logic contains a cycle (not broken by a sequential element).
+    CombinationalCycle(String),
+    /// A clock name was referenced before it was declared.
+    UnknownClock(String),
+    /// Parse error with line number and message.
+    Parse {
+        /// 1-based line number in the source text.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The netlist failed a structural validity check.
+    Invalid(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownNode(n) => write!(f, "unknown node `{n}`"),
+            NetlistError::DuplicateNode(n) => write!(f, "duplicate node `{n}`"),
+            NetlistError::BadArity { name, gate, got } => {
+                write!(f, "gate `{name}` of type {gate} cannot take {got} fanins")
+            }
+            NetlistError::CombinationalCycle(n) => {
+                write!(f, "combinational cycle through node `{n}`")
+            }
+            NetlistError::UnknownClock(c) => write!(f, "unknown clock `{c}`"),
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::Invalid(m) => write!(f, "invalid netlist: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NetlistError::UnknownNode("g12".into());
+        assert_eq!(e.to_string(), "unknown node `g12`");
+        let e = NetlistError::Parse {
+            line: 7,
+            message: "expected `=`".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,178 @@
+//! Topological levelization of the combinational portion of a netlist.
+//!
+//! The learning and simulation engines evaluate the combinational logic of one
+//! time frame in a single pass over a precomputed topological order. Primary
+//! inputs and sequential-element *outputs* are frame inputs; sequential-element
+//! *data fanins* are frame outputs (the next-state function).
+
+use crate::{Netlist, NetlistError, NodeId, Result};
+
+/// A topological ordering of the combinational gates of a netlist, together
+/// with per-node logic levels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Levelization {
+    order: Vec<NodeId>,
+    level: Vec<u32>,
+    max_level: u32,
+}
+
+impl Levelization {
+    /// Combinational gates in topological (fanin-before-fanout) order.
+    /// Primary inputs and sequential elements are not included: they carry
+    /// frame-input values and need no evaluation.
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Logic level of a node: inputs and sequential elements are level 0,
+    /// a gate is 1 + max level of its fanins.
+    pub fn level(&self, id: NodeId) -> u32 {
+        self.level[id.index()]
+    }
+
+    /// Largest logic level in the circuit (sequential depth of one frame).
+    pub fn max_level(&self) -> u32 {
+        self.max_level
+    }
+}
+
+/// Computes a [`Levelization`] of the combinational logic.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] if the combinational gates form
+/// a cycle that is not broken by a sequential element.
+pub fn levelize(netlist: &Netlist) -> Result<Levelization> {
+    let n = netlist.num_nodes();
+    let mut level = vec![0u32; n];
+    let mut indegree = vec![0u32; n];
+    let mut is_comb = vec![false; n];
+
+    for (id, node) in netlist.iter() {
+        if node.is_gate() {
+            is_comb[id.index()] = true;
+            // Only combinational fanins gate the evaluation order; inputs and
+            // sequential outputs are available at the start of the frame.
+            indegree[id.index()] = node
+                .fanins
+                .iter()
+                .filter(|f| netlist.node(**f).is_gate())
+                .count() as u32;
+        }
+    }
+
+    let mut queue: Vec<NodeId> = netlist
+        .iter()
+        .filter(|(id, n)| n.is_gate() && indegree[id.index()] == 0)
+        .map(|(id, _)| id)
+        .collect();
+    let mut order = Vec::with_capacity(netlist.num_gates());
+    let mut head = 0;
+    while head < queue.len() {
+        let id = queue[head];
+        head += 1;
+        order.push(id);
+        let lvl = netlist
+            .fanins(id)
+            .iter()
+            .map(|f| level[f.index()])
+            .max()
+            .unwrap_or(0)
+            + 1;
+        level[id.index()] = lvl;
+        for &fo in netlist.fanouts(id) {
+            if is_comb[fo.index()] {
+                indegree[fo.index()] -= 1;
+                if indegree[fo.index()] == 0 {
+                    queue.push(fo);
+                }
+            }
+        }
+    }
+
+    if order.len() != netlist.num_gates() {
+        // Find one gate stuck in a cycle for the error message.
+        let stuck = netlist
+            .gates()
+            .find(|g| indegree[g.index()] > 0)
+            .map(|g| netlist.node(g).name.clone())
+            .unwrap_or_else(|| "<unknown>".to_string());
+        return Err(NetlistError::CombinationalCycle(stuck));
+    }
+
+    let max_level = level.iter().copied().max().unwrap_or(0);
+    Ok(Levelization {
+        order,
+        level,
+        max_level,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GateType, NetlistBuilder};
+
+    #[test]
+    fn simple_chain_levels() {
+        let mut b = NetlistBuilder::new("chain");
+        b.input("a");
+        b.gate("g1", GateType::Not, &["a"]).unwrap();
+        b.gate("g2", GateType::Not, &["g1"]).unwrap();
+        b.gate("g3", GateType::Not, &["g2"]).unwrap();
+        b.output("g3").unwrap();
+        let n = b.build().unwrap();
+        let lv = levelize(&n).unwrap();
+        assert_eq!(lv.order().len(), 3);
+        assert_eq!(lv.level(n.require("g1").unwrap()), 1);
+        assert_eq!(lv.level(n.require("g3").unwrap()), 3);
+        assert_eq!(lv.max_level(), 3);
+    }
+
+    #[test]
+    fn sequential_feedback_is_not_a_cycle() {
+        let mut b = NetlistBuilder::new("loop");
+        b.input("a");
+        b.gate("g", GateType::And, &["a", "q"]).unwrap();
+        b.dff("q", "g").unwrap();
+        b.output("q").unwrap();
+        let n = b.build().unwrap();
+        let lv = levelize(&n).unwrap();
+        assert_eq!(lv.order().len(), 1);
+    }
+
+    #[test]
+    fn combinational_cycle_detected() {
+        let mut b = NetlistBuilder::new("cyc");
+        b.input("a");
+        b.gate("g1", GateType::And, &["a", "g2"]).unwrap();
+        b.gate("g2", GateType::Not, &["g1"]).unwrap();
+        b.output("g2").unwrap();
+        let n = b.build().unwrap();
+        assert!(matches!(
+            levelize(&n),
+            Err(NetlistError::CombinationalCycle(_))
+        ));
+    }
+
+    #[test]
+    fn order_respects_fanin_before_fanout() {
+        let mut b = NetlistBuilder::new("dag");
+        b.input("a");
+        b.input("b");
+        b.gate("x", GateType::And, &["a", "b"]).unwrap();
+        b.gate("y", GateType::Or, &["x", "a"]).unwrap();
+        b.gate("z", GateType::Xor, &["y", "x"]).unwrap();
+        b.output("z").unwrap();
+        let n = b.build().unwrap();
+        let lv = levelize(&n).unwrap();
+        let pos = |name: &str| {
+            lv.order()
+                .iter()
+                .position(|&id| id == n.require(name).unwrap())
+                .unwrap()
+        };
+        assert!(pos("x") < pos("y"));
+        assert!(pos("y") < pos("z"));
+    }
+}

@@ -1,0 +1,382 @@
+//! ISCAS-89 `.bench` parser with pragma extensions for real-circuit features.
+//!
+//! The classic `.bench` grammar is supported:
+//!
+//! ```text
+//! # comment
+//! INPUT(i1)
+//! OUTPUT(o1)
+//! g1 = AND(i1, f1)
+//! f1 = DFF(g1)
+//! ```
+//!
+//! Real circuits need clock-domain, latch and set/reset information, which the
+//! original format lacks. This parser accepts `#pragma` comment directives
+//! (ignored by other tools because they are comments):
+//!
+//! ```text
+//! #pragma clock f1 clk_a falling
+//! #pragma latch f2 2          # 2-port latch
+//! #pragma set f3 unconstrained
+//! #pragma reset f3 constrained
+//! ```
+
+use crate::{
+    ClockEdge, GateType, LineConstraint, Netlist, NetlistBuilder, NetlistError, Result, SeqInfo,
+    SeqKind,
+};
+use std::collections::HashMap;
+
+#[derive(Debug, Default, Clone)]
+struct SeqOverride {
+    clock: Option<String>,
+    edge: Option<ClockEdge>,
+    kind: Option<SeqKind>,
+    ports: Option<u8>,
+    set: Option<LineConstraint>,
+    reset: Option<LineConstraint>,
+}
+
+fn parse_constraint(word: &str, line_no: usize) -> Result<LineConstraint> {
+    match word.to_ascii_lowercase().as_str() {
+        "unconstrained" => Ok(LineConstraint::Unconstrained),
+        "constrained" => Ok(LineConstraint::Constrained),
+        "absent" | "none" => Ok(LineConstraint::Absent),
+        other => Err(NetlistError::Parse {
+            line: line_no,
+            message: format!("unknown set/reset constraint `{other}`"),
+        }),
+    }
+}
+
+fn collect_pragmas(text: &str) -> Result<HashMap<String, SeqOverride>> {
+    let mut map: HashMap<String, SeqOverride> = HashMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        let Some(rest) = line.strip_prefix("#pragma") else {
+            continue;
+        };
+        let words: Vec<&str> = rest.split_whitespace().collect();
+        if words.len() < 2 {
+            return Err(NetlistError::Parse {
+                line: line_no,
+                message: "pragma needs a directive and a target".into(),
+            });
+        }
+        let target = words[1].to_string();
+        let entry = map.entry(target).or_default();
+        match words[0].to_ascii_lowercase().as_str() {
+            "clock" => {
+                if words.len() < 3 {
+                    return Err(NetlistError::Parse {
+                        line: line_no,
+                        message: "pragma clock needs a clock name".into(),
+                    });
+                }
+                entry.clock = Some(words[2].to_string());
+                if let Some(edge) = words.get(3) {
+                    entry.edge = Some(match edge.to_ascii_lowercase().as_str() {
+                        "rising" | "posedge" | "high" => ClockEdge::Rising,
+                        "falling" | "negedge" | "low" => ClockEdge::Falling,
+                        other => {
+                            return Err(NetlistError::Parse {
+                                line: line_no,
+                                message: format!("unknown clock edge `{other}`"),
+                            })
+                        }
+                    });
+                }
+            }
+            "latch" => {
+                entry.kind = Some(SeqKind::Latch);
+                if let Some(p) = words.get(2) {
+                    let ports: u8 = p.parse().map_err(|_| NetlistError::Parse {
+                        line: line_no,
+                        message: format!("bad port count `{p}`"),
+                    })?;
+                    entry.ports = Some(ports.max(1));
+                }
+            }
+            "set" => {
+                if words.len() < 3 {
+                    return Err(NetlistError::Parse {
+                        line: line_no,
+                        message: "pragma set needs a constraint".into(),
+                    });
+                }
+                entry.set = Some(parse_constraint(words[2], line_no)?);
+            }
+            "reset" => {
+                if words.len() < 3 {
+                    return Err(NetlistError::Parse {
+                        line: line_no,
+                        message: "pragma reset needs a constraint".into(),
+                    });
+                }
+                entry.reset = Some(parse_constraint(words[2], line_no)?);
+            }
+            other => {
+                return Err(NetlistError::Parse {
+                    line: line_no,
+                    message: format!("unknown pragma `{other}`"),
+                });
+            }
+        }
+    }
+    Ok(map)
+}
+
+/// Parses `.bench` text into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for malformed lines and any error from
+/// [`NetlistBuilder::build`] (unknown names, bad arity, validation failures).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), sla_netlist::NetlistError> {
+/// let src = "\
+/// INPUT(a)
+/// INPUT(b)
+/// OUTPUT(q)
+/// g = NAND(a, b)
+/// q = DFF(g)
+/// ";
+/// let n = sla_netlist::parser::parse_bench("tiny", src)?;
+/// assert_eq!(n.num_gates(), 1);
+/// assert_eq!(n.num_sequential(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_bench(name: &str, text: &str) -> Result<Netlist> {
+    let pragmas = collect_pragmas(text)?;
+    let mut b = NetlistBuilder::new(name);
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let upper = line.to_ascii_uppercase();
+        if let Some(arg) = parse_call(&upper, "INPUT") {
+            let orig = &line[arg.clone()];
+            b.input(orig.trim());
+            continue;
+        }
+        if let Some(arg) = parse_call(&upper, "OUTPUT") {
+            let orig = &line[arg.clone()];
+            b.output(orig.trim())?;
+            continue;
+        }
+        // Assignment: name = FUNC(args)
+        let Some(eq) = line.find('=') else {
+            return Err(NetlistError::Parse {
+                line: line_no,
+                message: format!("expected `=` in `{line}`"),
+            });
+        };
+        let lhs = line[..eq].trim();
+        let rhs = line[eq + 1..].trim();
+        let Some(open) = rhs.find('(') else {
+            return Err(NetlistError::Parse {
+                line: line_no,
+                message: format!("expected `(` in `{rhs}`"),
+            });
+        };
+        let Some(close) = rhs.rfind(')') else {
+            return Err(NetlistError::Parse {
+                line: line_no,
+                message: format!("expected `)` in `{rhs}`"),
+            });
+        };
+        let func = rhs[..open].trim();
+        let args_str = &rhs[open + 1..close];
+        let args: Vec<&str> = args_str
+            .split(',')
+            .map(|a| a.trim())
+            .filter(|a| !a.is_empty())
+            .collect();
+
+        if func.eq_ignore_ascii_case("DFF") || func.eq_ignore_ascii_case("LATCH") {
+            if args.len() != 1 {
+                return Err(NetlistError::Parse {
+                    line: line_no,
+                    message: format!("sequential element `{lhs}` needs exactly one data input"),
+                });
+            }
+            let mut info = SeqInfo::simple_ff();
+            if func.eq_ignore_ascii_case("LATCH") {
+                info.kind = SeqKind::Latch;
+            }
+            if let Some(over) = pragmas.get(lhs) {
+                if let Some(c) = &over.clock {
+                    info.clock = b.clock(c);
+                }
+                if let Some(e) = over.edge {
+                    info.edge = e;
+                }
+                if let Some(k) = over.kind {
+                    info.kind = k;
+                }
+                if let Some(p) = over.ports {
+                    info.ports = p;
+                }
+                if let Some(s) = over.set {
+                    info.set = s;
+                }
+                if let Some(r) = over.reset {
+                    info.reset = r;
+                }
+            }
+            b.seq(lhs, args[0], info)?;
+        } else if let Some(gate) = GateType::from_bench_name(func) {
+            b.gate(lhs, gate, &args)?;
+        } else {
+            return Err(NetlistError::Parse {
+                line: line_no,
+                message: format!("unknown gate function `{func}`"),
+            });
+        }
+    }
+
+    b.build()
+}
+
+/// Returns the byte range of the argument of `KEYWORD(arg)` if the line is such
+/// a call, otherwise `None`. Operates on the uppercased line but the range is
+/// valid for the original (same length).
+fn parse_call(upper_line: &str, keyword: &str) -> Option<std::ops::Range<usize>> {
+    let trimmed = upper_line.trim_start();
+    let offset = upper_line.len() - trimmed.len();
+    if !trimmed.starts_with(keyword) {
+        return None;
+    }
+    let rest = &trimmed[keyword.len()..];
+    let rest_trim = rest.trim_start();
+    if !rest_trim.starts_with('(') {
+        return None;
+    }
+    let open = offset + keyword.len() + (rest.len() - rest_trim.len());
+    let close = upper_line.rfind(')')?;
+    Some(open + 1..close)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S27_LIKE: &str = "\
+# a tiny sequential circuit
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+";
+
+    #[test]
+    fn parses_s27_like_circuit() {
+        let n = parse_bench("s27", S27_LIKE).unwrap();
+        assert_eq!(n.inputs().len(), 4);
+        assert_eq!(n.outputs().len(), 1);
+        assert_eq!(n.num_sequential(), 3);
+        assert_eq!(n.num_gates(), 10);
+        assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    fn pragma_clock_and_reset_apply() {
+        let src = "\
+INPUT(a)
+OUTPUT(q)
+#pragma clock q clk_b falling
+#pragma reset q unconstrained
+q = DFF(a)
+";
+        let n = parse_bench("p", src).unwrap();
+        let q = n.require("q").unwrap();
+        let info = n.seq_info(q).unwrap();
+        assert_eq!(n.clock_name(info.clock), "clk_b");
+        assert_eq!(info.edge, ClockEdge::Falling);
+        assert_eq!(info.reset, LineConstraint::Unconstrained);
+        assert_eq!(info.set, LineConstraint::Absent);
+    }
+
+    #[test]
+    fn pragma_latch_ports() {
+        let src = "\
+INPUT(a)
+OUTPUT(q)
+#pragma latch q 2
+q = LATCH(a)
+";
+        let n = parse_bench("p", src).unwrap();
+        let info = n.seq_info(n.require("q").unwrap()).unwrap().clone();
+        assert_eq!(info.kind, SeqKind::Latch);
+        assert_eq!(info.ports, 2);
+    }
+
+    #[test]
+    fn malformed_line_reports_line_number() {
+        let src = "INPUT(a)\ngarbage line\n";
+        let err = parse_bench("bad", src).unwrap_err();
+        match err {
+            NetlistError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_gate_rejected() {
+        let src = "INPUT(a)\nOUTPUT(g)\ng = FOO(a)\n";
+        assert!(matches!(
+            parse_bench("bad", src),
+            Err(NetlistError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_pragma_rejected() {
+        let src = "#pragma frobnicate q\nINPUT(a)\nOUTPUT(a)\n";
+        assert!(matches!(
+            parse_bench("bad", src),
+            Err(NetlistError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn dff_with_two_inputs_rejected() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(q)\nq = DFF(a, b)\n";
+        assert!(matches!(
+            parse_bench("bad", src),
+            Err(NetlistError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn buff_alias_and_case_insensitivity() {
+        let src = "INPUT(a)\nOUTPUT(g)\ng = buff(a)\n";
+        let n = parse_bench("ok", src).unwrap();
+        assert_eq!(
+            n.node(n.require("g").unwrap()).kind.gate_type(),
+            Some(GateType::Buf)
+        );
+    }
+}

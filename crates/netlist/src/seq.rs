@@ -1,0 +1,202 @@
+use std::fmt;
+
+/// Identifier of a clock declared in a [`crate::Netlist`].
+///
+/// Clocks are interned by name; a gated version of a clock must be declared as
+/// a separate clock (the paper treats a clock and its gated version as distinct
+/// when partitioning sequential elements into learning classes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClockId(pub u32);
+
+impl ClockId {
+    /// Index into the netlist clock table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "clk{}", self.0)
+    }
+}
+
+/// Which edge (flip-flops) or phase (latches) of the clock captures data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ClockEdge {
+    /// Rising edge / high phase.
+    #[default]
+    Rising,
+    /// Falling edge / low phase.
+    Falling,
+}
+
+/// Flip-flop vs. latch distinction.
+///
+/// The paper keeps latches and flip-flops in separate learning classes even
+/// when driven by the same clock and phase, because their capture times differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SeqKind {
+    /// Edge-triggered flip-flop.
+    #[default]
+    FlipFlop,
+    /// Level-sensitive latch.
+    Latch,
+}
+
+/// Constraint status of an asynchronous set or reset line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LineConstraint {
+    /// The line does not exist on this element.
+    #[default]
+    Absent,
+    /// The line exists but is constrained inactive during test (never fires).
+    Constrained,
+    /// The line exists and may fire at any time (unconstrained).
+    Unconstrained,
+}
+
+impl LineConstraint {
+    /// Whether the line can asynchronously force a value onto the element.
+    pub fn is_unconstrained(self) -> bool {
+        matches!(self, LineConstraint::Unconstrained)
+    }
+}
+
+/// Clocking and asynchronous-control metadata of a sequential element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SeqInfo {
+    /// Flip-flop or latch.
+    pub kind: SeqKind,
+    /// Driving clock.
+    pub clock: ClockId,
+    /// Capture edge / phase.
+    pub edge: ClockEdge,
+    /// Asynchronous set (forces 1).
+    pub set: LineConstraint,
+    /// Asynchronous reset (forces 0).
+    pub reset: LineConstraint,
+    /// Number of write ports (>1 marks a multiple-port latch).
+    pub ports: u8,
+}
+
+impl Default for SeqInfo {
+    fn default() -> Self {
+        SeqInfo {
+            kind: SeqKind::FlipFlop,
+            clock: ClockId(0),
+            edge: ClockEdge::Rising,
+            set: LineConstraint::Absent,
+            reset: LineConstraint::Absent,
+            ports: 1,
+        }
+    }
+}
+
+impl SeqInfo {
+    /// A plain single-clock rising-edge flip-flop without set/reset.
+    pub fn simple_ff() -> Self {
+        SeqInfo::default()
+    }
+
+    /// The learning-class key of this element: elements learn together only if
+    /// they share clock, edge and kind (paper §3.3.2).
+    pub fn class_key(&self) -> (ClockId, ClockEdge, SeqKind) {
+        (self.clock, self.edge, self.kind)
+    }
+
+    /// Returns `true` if learning simulation may propagate `value` across this
+    /// element (paper §3.3.1 and §3.3.3):
+    ///
+    /// * multiple-port latches block all propagation,
+    /// * elements with both set and reset unconstrained block all propagation,
+    /// * an unconstrained set alone only lets a `1` through,
+    /// * an unconstrained reset alone only lets a `0` through,
+    /// * otherwise both values propagate.
+    pub fn allows_propagation(&self, value: bool) -> bool {
+        if self.ports > 1 {
+            return false;
+        }
+        match (self.set.is_unconstrained(), self.reset.is_unconstrained()) {
+            (true, true) => false,
+            (true, false) => value,
+            (false, true) => !value,
+            (false, false) => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ff_propagates_everything() {
+        let s = SeqInfo::simple_ff();
+        assert!(s.allows_propagation(false));
+        assert!(s.allows_propagation(true));
+    }
+
+    #[test]
+    fn multiport_latch_blocks_all() {
+        let s = SeqInfo {
+            ports: 2,
+            kind: SeqKind::Latch,
+            ..SeqInfo::default()
+        };
+        assert!(!s.allows_propagation(false));
+        assert!(!s.allows_propagation(true));
+    }
+
+    #[test]
+    fn full_set_reset_blocks_all() {
+        let s = SeqInfo {
+            set: LineConstraint::Unconstrained,
+            reset: LineConstraint::Unconstrained,
+            ..SeqInfo::default()
+        };
+        assert!(!s.allows_propagation(false));
+        assert!(!s.allows_propagation(true));
+    }
+
+    #[test]
+    fn partial_set_only_allows_one() {
+        let s = SeqInfo {
+            set: LineConstraint::Unconstrained,
+            ..SeqInfo::default()
+        };
+        assert!(s.allows_propagation(true));
+        assert!(!s.allows_propagation(false));
+    }
+
+    #[test]
+    fn partial_reset_only_allows_zero() {
+        let s = SeqInfo {
+            reset: LineConstraint::Unconstrained,
+            ..SeqInfo::default()
+        };
+        assert!(!s.allows_propagation(true));
+        assert!(s.allows_propagation(false));
+    }
+
+    #[test]
+    fn constrained_lines_do_not_block() {
+        let s = SeqInfo {
+            set: LineConstraint::Constrained,
+            reset: LineConstraint::Constrained,
+            ..SeqInfo::default()
+        };
+        assert!(s.allows_propagation(true));
+        assert!(s.allows_propagation(false));
+    }
+
+    #[test]
+    fn class_key_separates_latches_from_ffs() {
+        let ff = SeqInfo::simple_ff();
+        let latch = SeqInfo {
+            kind: SeqKind::Latch,
+            ..SeqInfo::default()
+        };
+        assert_ne!(ff.class_key(), latch.class_key());
+    }
+}

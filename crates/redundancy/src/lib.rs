@@ -1,0 +1,205 @@
+//! FIRE-style fault-independent identification of untestable faults.
+//!
+//! This crate is the baseline comparator of Table 4 of the paper: the paper
+//! compares the untestable faults identified *as a by-product of tie-gate
+//! learning* against FIRES (Iyer, Long, Abramovici), whose published
+//! combinational core is FIRE. FIRE observes that a fault requiring a value
+//! `v` on a stem *and* requiring `¬v` on the same stem for detection is
+//! untestable, without ever targeting individual faults:
+//!
+//! 1. for every fanout stem `s` and value `v`, compute the set of value
+//!    assignments implied by `s=v` (static logic implications, forward and
+//!    backward),
+//! 2. derive the set of faults undetectable under `s=v` — faults whose
+//!    excitation is blocked (their line is implied to the stuck value) and
+//!    faults whose propagation is blocked (every path to an observation point
+//!    passes a gate with a controlling side value),
+//! 3. every fault in the intersection of the `s=0` and `s=1` sets is
+//!    untestable.
+//!
+//! Observation points are primary outputs and flip-flop data inputs (the
+//! combinational view of the sequential circuit), mirroring how the paper's
+//! tie-gate counts are also produced by an analysis that crosses frames only
+//! through learning.
+
+mod implicate;
+mod observe;
+
+pub use implicate::static_implications;
+pub use observe::observable_nodes;
+
+use sla_netlist::stems::fanout_stems;
+use sla_netlist::{Netlist, NodeId};
+use sla_sim::{full_fault_list, Fault, FaultSite, Logic3};
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+/// Result of a FIRE run.
+#[derive(Debug, Clone, Default)]
+pub struct FireResult {
+    /// Untestable faults, deduplicated and sorted.
+    pub untestable: Vec<Fault>,
+    /// Number of stems analysed.
+    pub stems: usize,
+    /// Wall-clock analysis time.
+    pub cpu: Duration,
+}
+
+impl FireResult {
+    /// Number of untestable faults identified.
+    pub fn count(&self) -> usize {
+        self.untestable.len()
+    }
+}
+
+/// Runs FIRE over all fanout stems of the netlist.
+///
+/// # Errors
+///
+/// Returns an error when the combinational logic cannot be levelized.
+pub fn identify_untestable(netlist: &Netlist) -> sla_netlist::Result<FireResult> {
+    let start = Instant::now();
+    let stems = fanout_stems(netlist);
+    let faults = full_fault_list(netlist);
+    let mut untestable: BTreeSet<Fault> = BTreeSet::new();
+
+    for &stem in &stems {
+        let blocked0 = blocked_faults(netlist, stem, false, &faults)?;
+        if blocked0.is_empty() {
+            continue;
+        }
+        let blocked1 = blocked_faults(netlist, stem, true, &faults)?;
+        for f in blocked0.intersection(&blocked1) {
+            untestable.insert(*f);
+        }
+    }
+
+    Ok(FireResult {
+        untestable: untestable.into_iter().collect(),
+        stems: stems.len(),
+        cpu: start.elapsed(),
+    })
+}
+
+/// The set of faults undetectable while `stem = value` holds.
+fn blocked_faults(
+    netlist: &Netlist,
+    stem: NodeId,
+    value: bool,
+    faults: &[Fault],
+) -> sla_netlist::Result<BTreeSet<Fault>> {
+    let implied = static_implications(netlist, &[(stem, value)])?;
+    let Some(implied) = implied else {
+        // The assignment itself is inconsistent: every fault is "blocked" under
+        // it, but such a stem value is impossible, so no conclusion is drawn.
+        return Ok(BTreeSet::new());
+    };
+    let observable = observable_nodes(netlist, &implied);
+    let mut blocked = BTreeSet::new();
+    for fault in faults {
+        let line = match fault.site {
+            FaultSite::Output(node) => node,
+            FaultSite::Input { gate, pin } => netlist.fanins(gate)[pin],
+        };
+        // Excitation blocked: the line is implied to the stuck value.
+        let unexcitable = implied[line.index()] == Logic3::from_bool(fault.stuck_at);
+        // Propagation blocked: the fault site is unobservable under the
+        // implications. For branch faults the observation path starts at the
+        // gate the branch feeds.
+        let unobservable = match fault.site {
+            FaultSite::Output(node) => !observable[node.index()],
+            FaultSite::Input { gate, pin } => {
+                !observe::branch_observable(netlist, &implied, &observable, gate, pin)
+            }
+        };
+        if unexcitable || unobservable {
+            blocked.insert(*fault);
+        }
+    }
+    Ok(blocked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sla_netlist::{GateType, NetlistBuilder};
+
+    /// The classic FIRE textbook example shape: a reconvergent stem whose both
+    /// values block the same fault.
+    fn reconvergent() -> Netlist {
+        let mut b = NetlistBuilder::new("reconv");
+        b.input("a");
+        b.input("b");
+        b.input("c");
+        // Stem a feeds both g1 and (inverted) g2; their AND is constant 0
+        // whenever the other inputs do not help, making some faults untestable.
+        b.gate("na", GateType::Not, &["a"]).unwrap();
+        b.gate("g1", GateType::And, &["a", "b"]).unwrap();
+        b.gate("g2", GateType::And, &["na", "c"]).unwrap();
+        b.gate("g3", GateType::And, &["g1", "g2"]).unwrap();
+        b.output("g3").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn finds_untestable_faults_on_reconvergent_logic() {
+        let n = reconvergent();
+        let result = identify_untestable(&n).unwrap();
+        // g3 can never be 1 (needs a and !a), so g3 stuck-at-0 never makes a
+        // difference and is untestable; g1 stuck-at-0 is untestable too because
+        // exciting it needs a=1 while propagating it needs a=0.
+        let g3 = n.require("g3").unwrap();
+        let g1 = n.require("g1").unwrap();
+        assert!(result.untestable.contains(&Fault::output(g1, false)));
+        assert!(
+            result.untestable.contains(&Fault::output(g3, false)),
+            "g3 s-a-0 must be identified, got {:?}",
+            result
+                .untestable
+                .iter()
+                .map(|f| f.describe(&n))
+                .collect::<Vec<_>>()
+        );
+        assert!(result.stems > 0);
+    }
+
+    #[test]
+    fn irredundant_circuit_yields_nothing() {
+        let mut b = NetlistBuilder::new("clean");
+        b.input("a");
+        b.input("b");
+        b.gate("g", GateType::And, &["a", "b"]).unwrap();
+        b.gate("h", GateType::Xor, &["g", "a"]).unwrap();
+        b.output("h").unwrap();
+        b.output("g").unwrap();
+        let n = b.build().unwrap();
+        let result = identify_untestable(&n).unwrap();
+        assert!(
+            result.untestable.is_empty(),
+            "no fault of this circuit is untestable, got {:?}",
+            result
+                .untestable
+                .iter()
+                .map(|f| f.describe(&n))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn sequential_elements_act_as_boundaries() {
+        // The untestable fault sits behind a flip-flop; FF data inputs are
+        // observation points so the analysis still works frame-locally.
+        let mut b = NetlistBuilder::new("seq");
+        b.input("a");
+        b.input("b");
+        b.gate("na", GateType::Not, &["a"]).unwrap();
+        b.gate("z", GateType::And, &["a", "na"]).unwrap();
+        b.gate("d", GateType::Or, &["z", "b"]).unwrap();
+        b.dff("q", "d").unwrap();
+        b.output("q").unwrap();
+        let n = b.build().unwrap();
+        let result = identify_untestable(&n).unwrap();
+        let z = n.require("z").unwrap();
+        assert!(result.untestable.contains(&Fault::output(z, false)));
+    }
+}

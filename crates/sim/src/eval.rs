@@ -1,0 +1,140 @@
+//! Gate evaluation in three-valued logic and in 64-wide parallel-pattern form.
+
+use crate::value::Logic3;
+use sla_netlist::GateType;
+
+/// Evaluates a combinational gate over three-valued fanin values.
+pub fn eval_gate3(gate: GateType, fanins: impl Iterator<Item = Logic3>) -> Logic3 {
+    match gate {
+        GateType::And | GateType::Nand => {
+            let mut acc = Logic3::One;
+            for v in fanins {
+                acc = acc.and(v);
+                if acc == Logic3::Zero {
+                    break;
+                }
+            }
+            if gate == GateType::Nand {
+                acc.not()
+            } else {
+                acc
+            }
+        }
+        GateType::Or | GateType::Nor => {
+            let mut acc = Logic3::Zero;
+            for v in fanins {
+                acc = acc.or(v);
+                if acc == Logic3::One {
+                    break;
+                }
+            }
+            if gate == GateType::Nor {
+                acc.not()
+            } else {
+                acc
+            }
+        }
+        GateType::Xor | GateType::Xnor => {
+            let mut acc = Logic3::Zero;
+            for v in fanins {
+                acc = acc.xor(v);
+                if acc == Logic3::X {
+                    break;
+                }
+            }
+            if gate == GateType::Xnor {
+                acc.not()
+            } else {
+                acc
+            }
+        }
+        GateType::Not => fanins
+            .into_iter()
+            .next()
+            .map(Logic3::not)
+            .unwrap_or(Logic3::X),
+        GateType::Buf => fanins.into_iter().next().unwrap_or(Logic3::X),
+        GateType::Const0 => Logic3::Zero,
+        GateType::Const1 => Logic3::One,
+    }
+}
+
+/// Evaluates a combinational gate over 64 parallel two-valued patterns packed
+/// into `u64` words (bit *i* of every word belongs to pattern *i*).
+pub fn eval_gate64(gate: GateType, fanins: impl Iterator<Item = u64>) -> u64 {
+    match gate {
+        GateType::And => fanins.fold(u64::MAX, |a, b| a & b),
+        GateType::Nand => !fanins.fold(u64::MAX, |a, b| a & b),
+        GateType::Or => fanins.fold(0, |a, b| a | b),
+        GateType::Nor => !fanins.fold(0, |a, b| a | b),
+        GateType::Xor => fanins.fold(0, |a, b| a ^ b),
+        GateType::Xnor => !fanins.fold(0, |a, b| a ^ b),
+        GateType::Not => !fanins.into_iter().next().unwrap_or(0),
+        GateType::Buf => fanins.into_iter().next().unwrap_or(0),
+        GateType::Const0 => 0,
+        GateType::Const1 => u64::MAX,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Logic3::{One, X, Zero};
+
+    #[test]
+    fn and_nand_three_valued() {
+        assert_eq!(eval_gate3(GateType::And, [One, One].into_iter()), One);
+        assert_eq!(eval_gate3(GateType::And, [One, X].into_iter()), X);
+        assert_eq!(eval_gate3(GateType::And, [Zero, X].into_iter()), Zero);
+        assert_eq!(eval_gate3(GateType::Nand, [Zero, X].into_iter()), One);
+        assert_eq!(eval_gate3(GateType::Nand, [One, One].into_iter()), Zero);
+    }
+
+    #[test]
+    fn or_nor_three_valued() {
+        assert_eq!(eval_gate3(GateType::Or, [Zero, Zero].into_iter()), Zero);
+        assert_eq!(eval_gate3(GateType::Or, [X, One].into_iter()), One);
+        assert_eq!(eval_gate3(GateType::Nor, [X, One].into_iter()), Zero);
+        assert_eq!(eval_gate3(GateType::Nor, [X, Zero].into_iter()), X);
+    }
+
+    #[test]
+    fn xor_family_and_unary() {
+        assert_eq!(eval_gate3(GateType::Xor, [One, One, One].into_iter()), One);
+        assert_eq!(eval_gate3(GateType::Xnor, [One, Zero].into_iter()), Zero);
+        assert_eq!(eval_gate3(GateType::Not, [X].into_iter()), X);
+        assert_eq!(eval_gate3(GateType::Buf, [Zero].into_iter()), Zero);
+        assert_eq!(eval_gate3(GateType::Const0, [].into_iter()), Zero);
+        assert_eq!(eval_gate3(GateType::Const1, [].into_iter()), One);
+    }
+
+    #[test]
+    fn parallel_matches_scalar_on_binary_inputs() {
+        // Exhaustively compare bit 0 of the 64-wide evaluation against the
+        // three-valued evaluation restricted to binary inputs, for 2-input gates.
+        for gate in GateType::ALL {
+            if matches!(gate, GateType::Not | GateType::Buf | GateType::Const0 | GateType::Const1) {
+                continue;
+            }
+            for a in [false, true] {
+                for b in [false, true] {
+                    let scalar =
+                        eval_gate3(gate, [Logic3::from(a), Logic3::from(b)].into_iter());
+                    let wide = eval_gate64(
+                        gate,
+                        [if a { 1u64 } else { 0 }, if b { 1u64 } else { 0 }].into_iter(),
+                    ) & 1;
+                    assert_eq!(scalar.to_bool(), Some(wide == 1), "{gate} {a} {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_unary_and_consts() {
+        assert_eq!(eval_gate64(GateType::Not, [0b1010u64].into_iter()) & 0b1111, 0b0101);
+        assert_eq!(eval_gate64(GateType::Buf, [0xFFu64].into_iter()), 0xFF);
+        assert_eq!(eval_gate64(GateType::Const0, [].into_iter()), 0);
+        assert_eq!(eval_gate64(GateType::Const1, [].into_iter()), u64::MAX);
+    }
+}

@@ -1,0 +1,280 @@
+//! Sequential three-valued stuck-at fault simulation.
+//!
+//! The ATPG flow fault-simulates every generated test sequence against the
+//! remaining fault list and drops detected faults (the paper relies on this to
+//! explain cases where ATPG-with-learning detects a fault it could not
+//! generate a test for directly). Detection uses the conservative three-valued
+//! criterion: a fault is detected at a frame when some primary output is a
+//! known binary value in the good machine and the opposite binary value in the
+//! faulty machine.
+
+use crate::fault::{Fault, FaultSite};
+use crate::value::Logic3;
+use crate::Result;
+use sla_netlist::levelize::{levelize, Levelization};
+use sla_netlist::{Netlist, NodeId, NodeKind};
+
+/// A test sequence: one vector of primary-input values per time frame, in the
+/// order of [`Netlist::inputs`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TestSequence {
+    /// Per-frame primary-input vectors.
+    pub vectors: Vec<Vec<Logic3>>,
+}
+
+impl TestSequence {
+    /// Creates a sequence from per-frame vectors.
+    ///
+    /// # Panics
+    ///
+    /// Does not validate vector lengths; [`FaultSimulator`] checks them.
+    pub fn new(vectors: Vec<Vec<Logic3>>) -> Self {
+        TestSequence { vectors }
+    }
+
+    /// Number of time frames.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Returns `true` when the sequence has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+}
+
+/// Serial sequential fault simulator.
+#[derive(Debug, Clone)]
+pub struct FaultSimulator<'a> {
+    netlist: &'a Netlist,
+    levels: Levelization,
+}
+
+impl<'a> FaultSimulator<'a> {
+    /// Builds a fault simulator for `netlist`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the combinational logic cannot be levelized.
+    pub fn new(netlist: &'a Netlist) -> Result<Self> {
+        Ok(FaultSimulator {
+            netlist,
+            levels: levelize(netlist)?,
+        })
+    }
+
+    /// Simulates the fault-free machine and returns per-frame values of all
+    /// nodes (initial state all-X).
+    pub fn good_trace(&self, sequence: &TestSequence) -> Vec<Vec<Logic3>> {
+        self.machine_trace(sequence, None)
+    }
+
+    /// Returns `true` when `fault` is detected by `sequence`.
+    pub fn detects(&self, fault: &Fault, sequence: &TestSequence) -> bool {
+        let good = self.good_trace(sequence);
+        self.detects_against(fault, sequence, &good)
+    }
+
+    /// Serial fault simulation of a whole fault list; entry *i* of the result
+    /// tells whether `faults[i]` is detected by `sequence`.
+    pub fn detected_faults(&self, faults: &[Fault], sequence: &TestSequence) -> Vec<bool> {
+        let good = self.good_trace(sequence);
+        faults
+            .iter()
+            .map(|f| self.detects_against(f, sequence, &good))
+            .collect()
+    }
+
+    fn detects_against(
+        &self,
+        fault: &Fault,
+        sequence: &TestSequence,
+        good: &[Vec<Logic3>],
+    ) -> bool {
+        let faulty = self.machine_trace(sequence, Some(fault));
+        for (frame, good_frame) in good.iter().enumerate() {
+            for &po in self.netlist.outputs() {
+                let g = good_frame[po.index()];
+                let f = faulty[frame][po.index()];
+                if let (Some(gv), Some(fv)) = (g.to_bool(), f.to_bool()) {
+                    if gv != fv {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Simulates either the good machine (`fault = None`) or a faulty machine.
+    fn machine_trace(&self, sequence: &TestSequence, fault: Option<&Fault>) -> Vec<Vec<Logic3>> {
+        let n = self.netlist.num_nodes();
+        let mut state = vec![Logic3::X; n];
+        let mut out = Vec::with_capacity(sequence.len());
+        for vector in &sequence.vectors {
+            let mut values = vec![Logic3::X; n];
+            // Frame inputs.
+            for (pos, &pi) in self.netlist.inputs().iter().enumerate() {
+                values[pi.index()] = vector.get(pos).copied().unwrap_or(Logic3::X);
+            }
+            for s in self.netlist.sequential_elements() {
+                values[s.index()] = state[s.index()];
+            }
+            // Output faults on frame inputs take effect before evaluation.
+            if let Some(f) = fault {
+                if let FaultSite::Output(node) = f.site {
+                    let node_ref = self.netlist.node(node);
+                    if node_ref.is_input() || node_ref.is_sequential() {
+                        values[node.index()] = Logic3::from_bool(f.stuck_at);
+                    }
+                }
+            }
+            // Combinational evaluation with the fault effect.
+            for &id in self.levels.order() {
+                let node = self.netlist.node(id);
+                let NodeKind::Gate(gate) = node.kind else {
+                    continue;
+                };
+                let fanin_value = |pin: usize, driver: NodeId| -> Logic3 {
+                    if let Some(f) = fault {
+                        if f.site == (FaultSite::Input { gate: id, pin }) {
+                            return Logic3::from_bool(f.stuck_at);
+                        }
+                    }
+                    values[driver.index()]
+                };
+                let mut v = crate::eval::eval_gate3(
+                    gate,
+                    node
+                        .fanins
+                        .iter()
+                        .enumerate()
+                        .map(|(pin, &d)| fanin_value(pin, d)),
+                );
+                if let Some(f) = fault {
+                    if f.site == FaultSite::Output(id) {
+                        v = Logic3::from_bool(f.stuck_at);
+                    }
+                }
+                values[id.index()] = v;
+            }
+            out.push(values.clone());
+            // Next state.
+            for s in self.netlist.sequential_elements() {
+                let data = self.netlist.fanins(s)[0];
+                let mut v = values[data.index()];
+                if let Some(f) = fault {
+                    // A stuck output on the sequential element itself also fixes
+                    // the captured state.
+                    if f.site == FaultSite::Output(s) {
+                        v = Logic3::from_bool(f.stuck_at);
+                    }
+                }
+                state[s.index()] = v;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::full_fault_list;
+    use sla_netlist::{GateType, NetlistBuilder};
+
+    /// q captures NOT(a); output is q.
+    fn inverter_ff() -> Netlist {
+        let mut b = NetlistBuilder::new("invff");
+        b.input("a");
+        b.gate("g", GateType::Not, &["a"]).unwrap();
+        b.dff("q", "g").unwrap();
+        b.output("q").unwrap();
+        b.build().unwrap()
+    }
+
+    fn seq(frames: &[&[Logic3]]) -> TestSequence {
+        TestSequence::new(frames.iter().map(|f| f.to_vec()).collect())
+    }
+
+    #[test]
+    fn good_machine_shifts_values() {
+        let n = inverter_ff();
+        let sim = FaultSimulator::new(&n).unwrap();
+        let s = seq(&[&[Logic3::Zero], &[Logic3::One]]);
+        let trace = sim.good_trace(&s);
+        let q = n.require("q").unwrap();
+        assert_eq!(trace[0][q.index()], Logic3::X);
+        assert_eq!(trace[1][q.index()], Logic3::One);
+    }
+
+    #[test]
+    fn output_fault_on_gate_detected() {
+        let n = inverter_ff();
+        let sim = FaultSimulator::new(&n).unwrap();
+        let g = n.require("g").unwrap();
+        // g stuck-at-0: applying a=0 makes good g=1, faulty g=0; visible at q one frame later.
+        let s = seq(&[&[Logic3::Zero], &[Logic3::Zero]]);
+        assert!(sim.detects(&Fault::output(g, false), &s));
+        // g stuck-at-1 is not detected by a=0 (good value is already 1).
+        assert!(!sim.detects(&Fault::output(g, true), &s));
+        // ... but is detected by a=1.
+        let s2 = seq(&[&[Logic3::One], &[Logic3::One]]);
+        assert!(sim.detects(&Fault::output(g, true), &s2));
+    }
+
+    #[test]
+    fn input_pin_fault_only_affects_that_branch() {
+        // k = OR(a, b); m = AND(a, b). Fault on k's pin-0 (branch of a) must not
+        // change m.
+        let mut b = NetlistBuilder::new("branch");
+        b.input("a");
+        b.input("b");
+        b.gate("k", GateType::Or, &["a", "b"]).unwrap();
+        b.gate("m", GateType::And, &["a", "b"]).unwrap();
+        b.output("k").unwrap();
+        b.output("m").unwrap();
+        let n = b.build().unwrap();
+        let sim = FaultSimulator::new(&n).unwrap();
+        let k = n.require("k").unwrap();
+        // a=1, b=0: good k=1, faulty (k/0 s-a-0) k=0 -> detected.
+        let s = seq(&[&[Logic3::One, Logic3::Zero]]);
+        assert!(sim.detects(&Fault::input(k, 0, false), &s));
+        // Fault on m's pin for 'a' stuck-at-1 with a=1 is not excited.
+        let m = n.require("m").unwrap();
+        assert!(!sim.detects(&Fault::input(m, 0, true), &s));
+    }
+
+    #[test]
+    fn stuck_primary_input_detected() {
+        let n = inverter_ff();
+        let sim = FaultSimulator::new(&n).unwrap();
+        let a = n.require("a").unwrap();
+        let s = seq(&[&[Logic3::One], &[Logic3::One]]);
+        assert!(sim.detects(&Fault::output(a, false), &s));
+    }
+
+    #[test]
+    fn x_outputs_never_count_as_detection() {
+        let n = inverter_ff();
+        let sim = FaultSimulator::new(&n).unwrap();
+        let q = n.require("q").unwrap();
+        // One frame only: q is still X at the output in frame 0, so nothing can
+        // be detected there even for a stuck q.
+        let s = seq(&[&[Logic3::One]]);
+        assert!(!sim.detects(&Fault::output(q, false), &s));
+    }
+
+    #[test]
+    fn detected_faults_matches_individual_calls() {
+        let n = inverter_ff();
+        let sim = FaultSimulator::new(&n).unwrap();
+        let faults = full_fault_list(&n);
+        let s = seq(&[&[Logic3::Zero], &[Logic3::One], &[Logic3::Zero]]);
+        let bulk = sim.detected_faults(&faults, &s);
+        for (f, &d) in faults.iter().zip(&bulk) {
+            assert_eq!(sim.detects(f, &s), d, "{}", f.describe(&n));
+        }
+        assert!(bulk.iter().any(|&d| d), "sequence should detect something");
+    }
+}

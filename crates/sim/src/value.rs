@@ -1,0 +1,172 @@
+use std::fmt;
+
+/// Three-valued logic value used throughout learning and fault simulation.
+///
+/// `X` means "unknown / unassigned". Three-valued simulation is conservative:
+/// a binary result is guaranteed correct for every completion of the `X`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Logic3 {
+    /// Logic 0.
+    Zero,
+    /// Logic 1.
+    One,
+    /// Unknown.
+    #[default]
+    X,
+}
+
+impl Logic3 {
+    /// Converts a boolean to a binary logic value.
+    pub fn from_bool(b: bool) -> Logic3 {
+        if b {
+            Logic3::One
+        } else {
+            Logic3::Zero
+        }
+    }
+
+    /// Returns `Some(bool)` for binary values and `None` for `X`.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic3::Zero => Some(false),
+            Logic3::One => Some(true),
+            Logic3::X => None,
+        }
+    }
+
+    /// Returns `true` when the value is 0 or 1 (not `X`).
+    pub fn is_binary(self) -> bool {
+        self != Logic3::X
+    }
+
+    /// Three-valued negation.
+    pub fn not(self) -> Logic3 {
+        match self {
+            Logic3::Zero => Logic3::One,
+            Logic3::One => Logic3::Zero,
+            Logic3::X => Logic3::X,
+        }
+    }
+
+    /// Three-valued conjunction.
+    pub fn and(self, other: Logic3) -> Logic3 {
+        match (self, other) {
+            (Logic3::Zero, _) | (_, Logic3::Zero) => Logic3::Zero,
+            (Logic3::One, Logic3::One) => Logic3::One,
+            _ => Logic3::X,
+        }
+    }
+
+    /// Three-valued disjunction.
+    pub fn or(self, other: Logic3) -> Logic3 {
+        match (self, other) {
+            (Logic3::One, _) | (_, Logic3::One) => Logic3::One,
+            (Logic3::Zero, Logic3::Zero) => Logic3::Zero,
+            _ => Logic3::X,
+        }
+    }
+
+    /// Three-valued exclusive or.
+    pub fn xor(self, other: Logic3) -> Logic3 {
+        match (self.to_bool(), other.to_bool()) {
+            (Some(a), Some(b)) => Logic3::from_bool(a ^ b),
+            _ => Logic3::X,
+        }
+    }
+}
+
+impl From<bool> for Logic3 {
+    fn from(b: bool) -> Self {
+        Logic3::from_bool(b)
+    }
+}
+
+impl fmt::Display for Logic3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Logic3::Zero => f.write_str("0"),
+            Logic3::One => f.write_str("1"),
+            Logic3::X => f.write_str("X"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Logic3; 3] = [Logic3::Zero, Logic3::One, Logic3::X];
+
+    #[test]
+    fn bool_round_trip() {
+        assert_eq!(Logic3::from_bool(true).to_bool(), Some(true));
+        assert_eq!(Logic3::from_bool(false).to_bool(), Some(false));
+        assert_eq!(Logic3::X.to_bool(), None);
+        assert_eq!(Logic3::from(true), Logic3::One);
+    }
+
+    #[test]
+    fn and_truth_table() {
+        assert_eq!(Logic3::One.and(Logic3::One), Logic3::One);
+        assert_eq!(Logic3::One.and(Logic3::Zero), Logic3::Zero);
+        assert_eq!(Logic3::X.and(Logic3::Zero), Logic3::Zero);
+        assert_eq!(Logic3::X.and(Logic3::One), Logic3::X);
+        assert_eq!(Logic3::X.and(Logic3::X), Logic3::X);
+    }
+
+    #[test]
+    fn or_truth_table() {
+        assert_eq!(Logic3::Zero.or(Logic3::Zero), Logic3::Zero);
+        assert_eq!(Logic3::X.or(Logic3::One), Logic3::One);
+        assert_eq!(Logic3::X.or(Logic3::Zero), Logic3::X);
+    }
+
+    #[test]
+    fn xor_is_unknown_with_any_x() {
+        assert_eq!(Logic3::One.xor(Logic3::Zero), Logic3::One);
+        assert_eq!(Logic3::One.xor(Logic3::One), Logic3::Zero);
+        assert_eq!(Logic3::One.xor(Logic3::X), Logic3::X);
+        assert_eq!(Logic3::X.xor(Logic3::X), Logic3::X);
+    }
+
+    #[test]
+    fn de_morgan_holds_in_three_valued_logic() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.and(b).not(), a.not().or(b.not()));
+                assert_eq!(a.or(b).not(), a.not().and(b.not()));
+            }
+        }
+    }
+
+    #[test]
+    fn operations_are_monotone_in_information_order() {
+        // Replacing X by a binary value never flips an already-binary result.
+        for a in ALL {
+            for b in ALL {
+                let r = a.and(b);
+                if r.is_binary() {
+                    for a2 in refine(a) {
+                        for b2 in refine(b) {
+                            assert_eq!(a2.and(b2), r);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn refine(v: Logic3) -> Vec<Logic3> {
+        match v {
+            Logic3::X => vec![Logic3::Zero, Logic3::One],
+            other => vec![other],
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Logic3::Zero.to_string(), "0");
+        assert_eq!(Logic3::One.to_string(), "1");
+        assert_eq!(Logic3::X.to_string(), "X");
+    }
+}
