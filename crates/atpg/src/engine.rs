@@ -146,8 +146,8 @@ impl<'a> AtpgEngine<'a> {
 
         let generator = TestGenerator::new(self.netlist, self.config, self.learned.clone())
             .expect("netlist already levelized in new()");
-        let fault_sim = FaultSimulator::new(self.netlist)
-            .expect("netlist already levelized in new()");
+        let fault_sim =
+            FaultSimulator::new(self.netlist).expect("netlist already levelized in new()");
         let mut sequences = Vec::new();
 
         for i in 0..faults.len() {
@@ -165,8 +165,7 @@ impl<'a> AtpgEngine<'a> {
                         let remaining: Vec<usize> = (i + 1..faults.len())
                             .filter(|&j| status[j].is_none())
                             .collect();
-                        let targets: Vec<Fault> =
-                            remaining.iter().map(|&j| faults[j]).collect();
+                        let targets: Vec<Fault> = remaining.iter().map(|&j| faults[j]).collect();
                         let hit = fault_sim.detected_faults(&targets, &sequence);
                         for (&j, &detected) in remaining.iter().zip(&hit) {
                             if detected {
@@ -186,12 +185,18 @@ impl<'a> AtpgEngine<'a> {
             .into_iter()
             .map(|s| s.unwrap_or(FaultStatus::Aborted))
             .collect();
-        stats.detected = status.iter().filter(|s| **s == FaultStatus::Detected).count();
+        stats.detected = status
+            .iter()
+            .filter(|s| **s == FaultStatus::Detected)
+            .count();
         stats.untestable = status
             .iter()
             .filter(|s| **s == FaultStatus::Untestable)
             .count();
-        stats.aborted = status.iter().filter(|s| **s == FaultStatus::Aborted).count();
+        stats.aborted = status
+            .iter()
+            .filter(|s| **s == FaultStatus::Aborted)
+            .count();
         stats.sequences = sequences.len();
         stats.cpu = start.elapsed();
 
@@ -292,8 +297,7 @@ mod tests {
                 .with_learned(learned.clone())
                 .run(&faults);
             assert!(
-                run.stats.detected + run.stats.untestable
-                    >= baseline.stats.detected,
+                run.stats.detected + run.stats.untestable >= baseline.stats.detected,
                 "mode {mode:?} classified fewer faults than the baseline"
             );
             // Detected tests are always validated by the fault simulator.
@@ -311,8 +315,10 @@ mod tests {
         let with_drop = AtpgEngine::new(&n, AtpgConfig::default())
             .unwrap()
             .run(&faults);
-        let mut cfg = AtpgConfig::default();
-        cfg.fault_dropping = false;
+        let cfg = AtpgConfig {
+            fault_dropping: false,
+            ..AtpgConfig::default()
+        };
         let without_drop = AtpgEngine::new(&n, cfg).unwrap().run(&faults);
         assert!(with_drop.stats.sequences <= without_drop.stats.sequences);
         // Fault simulation of generated sequences can detect faults the

@@ -33,10 +33,7 @@ impl LearnedData {
 
     /// Returns the tied value of `node` if the node is tied.
     pub fn tied_value(&self, node: NodeId) -> Option<bool> {
-        self.tied
-            .iter()
-            .find(|&&(n, _)| n == node)
-            .map(|&(_, v)| v)
+        self.tied.iter().find(|&&(n, _)| n == node).map(|&(_, v)| v)
     }
 
     /// Returns `true` when there is nothing to use.
@@ -192,12 +189,7 @@ mod tests {
         let mut frame = vec![Logic3::X; n.num_nodes()];
         frame[f1.index()] = Logic3::One;
         let good = vec![frame];
-        let layer = ImplicationLayer::build(
-            &n,
-            &learned,
-            LearningMode::ForbiddenValue,
-            &good,
-        );
+        let layer = ImplicationLayer::build(&n, &learned, LearningMode::ForbiddenValue, &good);
         assert!(!layer.conflict);
         assert_eq!(layer.hint(0, f2), Some(false));
         assert_eq!(layer.hint(0, f1), None);
@@ -213,13 +205,11 @@ mod tests {
         let mut frame = vec![Logic3::X; n.num_nodes()];
         frame[f1.index()] = Logic3::One;
         frame[f2.index()] = Logic3::One;
-        let layer = ImplicationLayer::build(
-            &n,
-            &learned,
-            LearningMode::ForbiddenValue,
-            &[frame],
+        let layer = ImplicationLayer::build(&n, &learned, LearningMode::ForbiddenValue, &[frame]);
+        assert!(
+            layer.conflict,
+            "f1=1 and f2=1 violates the learned relation"
         );
-        assert!(layer.conflict, "f1=1 and f2=1 violates the learned relation");
     }
 
     #[test]

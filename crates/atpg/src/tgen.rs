@@ -138,12 +138,8 @@ impl<'a> TestGenerator<'a> {
             let (good, faulty) = self.simulate(fault, window, &assigned);
 
             // Learned-implication layer: a contradiction is an early conflict.
-            let layer = ImplicationLayer::build(
-                self.netlist,
-                &self.learned,
-                self.config.learning,
-                &good,
-            );
+            let layer =
+                ImplicationLayer::build(self.netlist, &self.learned, self.config.learning, &good);
             let conflict = layer.conflict;
 
             if !conflict && self.detected(&good, &faulty) {
@@ -243,8 +239,7 @@ impl<'a> TestGenerator<'a> {
                 let NodeKind::Gate(gate) = node.kind else {
                     continue;
                 };
-                vg[id.index()] =
-                    eval_gate3(gate, node.fanins.iter().map(|f| vg[f.index()]));
+                vg[id.index()] = eval_gate3(gate, node.fanins.iter().map(|f| vg[f.index()]));
                 let faulty_value = eval_gate3(
                     gate,
                     node.fanins.iter().enumerate().map(|(pin, &d)| {
@@ -304,9 +299,8 @@ impl<'a> TestGenerator<'a> {
             FaultSite::Input { gate, pin } => self.netlist.fanins(gate)[pin],
         };
         let want = !fault.stuck_at;
-        let excited = (0..window).any(|t| {
-            good[t][excitation_node.index()] == Logic3::from_bool(want)
-        });
+        let excited =
+            (0..window).any(|t| good[t][excitation_node.index()] == Logic3::from_bool(want));
         if !excited {
             // Prefer the latest frame with an unknown value on the site: later
             // frames leave room to set up the required state in earlier frames.
@@ -423,9 +417,13 @@ impl<'a> TestGenerator<'a> {
                         let controlling = gate
                             .controlling_value()
                             .expect("and/or family has a controlling value");
-                        let need_single = under == gate.controlled_response().unwrap()
-                            ^ gate.inverts();
-                        let target = if need_single { controlling } else { !controlling };
+                        let need_single =
+                            under == gate.controlled_response().unwrap() ^ gate.inverts();
+                        let target = if need_single {
+                            controlling
+                        } else {
+                            !controlling
+                        };
                         for pick in self.ranked_inputs(fanins, frame, target, good, layer) {
                             if let Some(found) =
                                 self.backtrace_dfs(frame, pick, target, good, layer, budget)
@@ -445,14 +443,9 @@ impl<'a> TestGenerator<'a> {
                             }
                         }
                         for pick in unknown {
-                            if let Some(found) = self.backtrace_dfs(
-                                frame,
-                                pick,
-                                value ^ parity,
-                                good,
-                                layer,
-                                budget,
-                            ) {
+                            if let Some(found) =
+                                self.backtrace_dfs(frame, pick, value ^ parity, good, layer, budget)
+                            {
                                 return Some(found);
                             }
                         }
@@ -482,9 +475,7 @@ impl<'a> TestGenerator<'a> {
             .collect();
         let score = |f: &NodeId| -> i32 {
             let mut s = 0;
-            if self.config.learning != LearningMode::None
-                && layer.hint(frame, *f) == Some(target)
-            {
+            if self.config.learning != LearningMode::None && layer.hint(frame, *f) == Some(target) {
                 s -= 4;
             }
             if self.netlist.node(*f).is_sequential() {
@@ -608,9 +599,11 @@ mod tests {
     #[test]
     fn zero_backtrack_budget_aborts_hard_faults() {
         let n = pipelined();
-        let mut config = AtpgConfig::default();
-        config.backtrack_limit = 0;
-        config.max_decisions = 3;
+        let config = AtpgConfig {
+            backtrack_limit: 0,
+            max_decisions: 3,
+            ..AtpgConfig::default()
+        };
         let gen = generator(&n, config);
         let g = n.require("g").unwrap();
         // With essentially no budget the generator must not claim untestable

@@ -11,16 +11,17 @@ fn frame_limit_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("frame_limit");
     group.sample_size(10);
     for frames in [1usize, 5, 20, 50] {
-        group.bench_with_input(BenchmarkId::from_parameter(frames), &frames, |b, &frames| {
-            b.iter(|| {
-                SequentialLearner::new(
-                    &netlist,
-                    LearnConfig::default().with_max_frames(frames),
-                )
-                .learn()
-                .expect("learning succeeds")
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(frames),
+            &frames,
+            |b, &frames| {
+                b.iter(|| {
+                    SequentialLearner::new(&netlist, LearnConfig::default().with_max_frames(frames))
+                        .learn()
+                        .expect("learning succeeds")
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -17,7 +17,9 @@ fn main() {
     let widths = [12, 7, 8, 8, 9, 9, 8];
     print_header(
         &widths,
-        &["Circuit", "FFs", "Gates", "Stems", "FF-FF", "Gate-FF", "CPU(s)"],
+        &[
+            "Circuit", "FFs", "Gates", "Stems", "FF-FF", "Gate-FF", "CPU(s)",
+        ],
     );
 
     for profile in TABLE3_PROFILES {

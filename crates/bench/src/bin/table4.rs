@@ -36,13 +36,7 @@ fn main() {
     print_header(
         &widths,
         &[
-            "Circuit",
-            "FFs",
-            "Gates",
-            "TieGates",
-            "FIRE",
-            "Learn(s)",
-            "FIRE(s)",
+            "Circuit", "FFs", "Gates", "TieGates", "FIRE", "Learn(s)", "FIRE(s)",
         ],
     );
 

@@ -139,9 +139,16 @@ mod tests {
     #[test]
     fn parses_flags() {
         let o = HarnessOptions::from_args(
-            ["--scale", "0.5", "--limits", "30,1000", "--max-faults", "50"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--scale",
+                "0.5",
+                "--limits",
+                "30,1000",
+                "--max-faults",
+                "50",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
         assert!((o.scale - 0.5).abs() < 1e-9);
         assert_eq!(o.backtrack_limits, vec![30, 1000]);

@@ -69,7 +69,10 @@ pub fn industrial_circuit(config: &IndustrialConfig) -> Netlist {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let domains = config.clock_domains.max(2);
     let mut text = String::new();
-    text.push_str(&format!("# {} (generated industrial-style circuit)\n", config.name));
+    text.push_str(&format!(
+        "# {} (generated industrial-style circuit)\n",
+        config.name
+    ));
 
     for d in 0..domains {
         let block = synthesize(&SynthConfig {
@@ -161,7 +164,10 @@ mod tests {
     fn builds_with_multiple_clock_domains_and_features() {
         let n = industrial_circuit(&IndustrialConfig::default());
         assert!(n.validate().is_ok());
-        assert!(n.clocks().len() >= 3, "default clock plus two extra domains");
+        assert!(
+            n.clocks().len() >= 3,
+            "default clock plus two extra domains"
+        );
         let mut latches = 0;
         let mut set_reset = 0;
         let mut multiport = 0;

@@ -6,7 +6,7 @@
 //!
 //! * [`figures`] — reconstructions of the paper's Figure 1 / Figure 2 running
 //!   examples that exhibit every learning phenomenon the text walks through,
-//! * [`s27`] — the classic tiny ISCAS-89 sequential benchmark,
+//! * [`s27`](mod@s27) — the classic tiny ISCAS-89 sequential benchmark,
 //! * [`synth`] — a deterministic random sequential circuit generator
 //!   parameterized by input/output/flip-flop/gate counts,
 //! * [`retimed`] — a generator of circuits with a very low density of encoding
@@ -27,8 +27,8 @@ pub mod synth;
 pub use figures::{paper_style_figure1, paper_style_figure2};
 pub use industrial::{industrial_circuit, IndustrialConfig};
 pub use profiles::{
-    build_profile, profile_by_name, CircuitClass, CircuitProfile, TABLE3_PROFILES,
-    TABLE4_PROFILES, TABLE5_PROFILES,
+    build_profile, profile_by_name, CircuitClass, CircuitProfile, TABLE3_PROFILES, TABLE4_PROFILES,
+    TABLE5_PROFILES,
 };
 pub use retimed::{retimed_circuit, RetimedConfig};
 pub use s27::s27;

@@ -36,12 +36,7 @@ pub struct CircuitProfile {
 }
 
 impl CircuitProfile {
-    const fn new(
-        name: &'static str,
-        flip_flops: usize,
-        gates: usize,
-        class: CircuitClass,
-    ) -> Self {
+    const fn new(name: &'static str, flip_flops: usize, gates: usize, class: CircuitClass) -> Self {
         CircuitProfile {
             name,
             flip_flops,
@@ -123,9 +118,12 @@ pub fn build_profile(profile: &CircuitProfile, scale: f64) -> Netlist {
         CircuitClass::Retimed => {
             retimed_circuit(&RetimedConfig::sized(profile.name, flip_flops, gates, seed))
         }
-        CircuitClass::Industrial => {
-            industrial_circuit(&IndustrialConfig::sized(profile.name, flip_flops, gates, seed))
-        }
+        CircuitClass::Industrial => industrial_circuit(&IndustrialConfig::sized(
+            profile.name,
+            flip_flops,
+            gates,
+            seed,
+        )),
     }
 }
 

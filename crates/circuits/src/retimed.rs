@@ -81,10 +81,18 @@ pub fn retimed_circuit(config: &RetimedConfig) -> Netlist {
             // register is initialisable under three-valued simulation (a real
             // retimed circuit keeps an initialisation path too); the feedback
             // term only mixes once the state is known.
-            b.gate("m_in", GateType::And, &[inputs[0].as_str(), inputs[1 % inputs.len()].as_str()])
-                .unwrap();
-            b.gate("m_fb", GateType::Or, &["m_in", master.last().unwrap().as_str()])
-                .unwrap();
+            b.gate(
+                "m_in",
+                GateType::And,
+                &[inputs[0].as_str(), inputs[1 % inputs.len()].as_str()],
+            )
+            .unwrap();
+            b.gate(
+                "m_fb",
+                GateType::Or,
+                &["m_in", master.last().unwrap().as_str()],
+            )
+            .unwrap();
             b.dff(name, "m_fb").unwrap();
         } else {
             b.dff(name, &master[i - 1]).unwrap();
@@ -139,7 +147,8 @@ pub fn retimed_circuit(config: &RetimedConfig) -> Netlist {
     for name in derived.iter().take(2) {
         b.output(name).unwrap();
     }
-    b.build().expect("retimed generator produces valid circuits")
+    b.build()
+        .expect("retimed generator produces valid circuits")
 }
 
 #[cfg(test)]

@@ -131,7 +131,8 @@ pub fn synthesize(config: &SynthConfig) -> Netlist {
         b.output(pick).expect("output references an existing node");
     }
 
-    b.build().expect("generator produces structurally valid circuits")
+    b.build()
+        .expect("generator produces structurally valid circuits")
 }
 
 #[cfg(test)]

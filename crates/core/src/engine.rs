@@ -399,10 +399,24 @@ mod tests {
         b.gate("e2", GateType::And, &["nb", "ng1"]).unwrap();
         b.dff("f1", "d1").unwrap();
         b.dff("f2", "d2").unwrap();
-        b.seq("g1", "e1", SeqInfo { clock: clk_b, ..SeqInfo::default() })
-            .unwrap();
-        b.seq("g2", "e2", SeqInfo { clock: clk_b, ..SeqInfo::default() })
-            .unwrap();
+        b.seq(
+            "g1",
+            "e1",
+            SeqInfo {
+                clock: clk_b,
+                ..SeqInfo::default()
+            },
+        )
+        .unwrap();
+        b.seq(
+            "g2",
+            "e2",
+            SeqInfo {
+                clock: clk_b,
+                ..SeqInfo::default()
+            },
+        )
+        .unwrap();
         b.output("f1").unwrap();
         b.output("f2").unwrap();
         b.output("g1").unwrap();
@@ -440,7 +454,10 @@ mod tests {
         let result = SequentialLearner::new(&n, LearnConfig::default())
             .learn()
             .unwrap();
-        assert_eq!(result.stats.stems, sla_netlist::stems::fanout_stems(&n).len());
+        assert_eq!(
+            result.stats.stems,
+            sla_netlist::stems::fanout_stems(&n).len()
+        );
         assert!(result.stats.cpu.as_nanos() > 0);
         assert_eq!(result.stats.classes, 1);
     }

@@ -50,9 +50,8 @@ fn prepare_target(node: NodeId, produced: bool, entries: &[(NodeId, bool, usize)
     let mut contradictory = false;
     for &(stem, w, t) in entries {
         let frame = horizon - t;
-        match by_slot.insert((stem, frame), !w) {
-            Some(prev) if prev != !w => contradictory = true,
-            _ => {}
+        if by_slot.insert((stem, frame), !w) == Some(w) {
+            contradictory = true;
         }
     }
     let mut injections: Vec<Injection> = by_slot
@@ -90,7 +89,8 @@ pub fn run(
 
     // Deterministic target order: most-supported first (they yield the most
     // relations), ties broken by node id and value.
-    let mut targets: Vec<(&(NodeId, bool), &Vec<(NodeId, bool, usize)>)> = support
+    type TargetEntry<'a> = (&'a (NodeId, bool), &'a Vec<(NodeId, bool, usize)>);
+    let mut targets: Vec<TargetEntry<'_>> = support
         .iter()
         .filter(|(_, entries)| entries.len() >= 2)
         .collect();
@@ -182,7 +182,7 @@ fn tie_kind(horizon: usize) -> TieKind {
 mod tests {
     use super::*;
     use crate::single_node;
-    use sla_netlist::{GateType, NetlistBuilder, Netlist};
+    use sla_netlist::{GateType, Netlist, NetlistBuilder};
     use sla_sim::Logic3;
 
     /// The Figure-2 phenomenon, reduced to its core: each of `i2=0` and `i3=0`
@@ -245,8 +245,10 @@ mod tests {
         // Single-node learning cannot see it (g9 and f2 are set by the same
         // stem polarity, never by opposite ones).
         assert!(
-            !single.implications.iter().any(|(imp, _)| *imp == wanted
-                || *imp == wanted.contrapositive()),
+            !single
+                .implications
+                .iter()
+                .any(|(imp, _)| *imp == wanted || *imp == wanted.contrapositive()),
             "single-node learning should not find g9=0 -> f2=0"
         );
         let mut sim = InjectionSim::new(&n).unwrap();

@@ -176,9 +176,8 @@ mod tests {
         let g = n.require("g").unwrap();
         let f1 = n.require("f1").unwrap();
         let f2 = n.require("f2").unwrap();
-        let imp = |a: NodeId, c: NodeId| {
-            Implication::new(Literal::new(a, true), Literal::new(c, false))
-        };
+        let imp =
+            |a: NodeId, c: NodeId| Implication::new(Literal::new(a, true), Literal::new(c, false));
         assert_eq!(imp(f1, f2).kind(&n), RelationKind::FfFf);
         assert_eq!(imp(g, f1).kind(&n), RelationKind::GateFf);
         assert_eq!(imp(f1, g).kind(&n), RelationKind::GateFf);

@@ -26,12 +26,7 @@ pub type SupportMap = HashMap<(NodeId, bool), Vec<(NodeId, bool, usize)>>;
 /// between gates and sequential elements (gate–gate relations follow from
 /// those, primary inputs are free variables); with multiple clock domains the
 /// sequential endpoints must additionally belong to the active class.
-pub fn keep_relation(
-    netlist: &Netlist,
-    class_mask: Option<&[bool]>,
-    a: NodeId,
-    b: NodeId,
-) -> bool {
+pub fn keep_relation(netlist: &Netlist, class_mask: Option<&[bool]>, a: NodeId, b: NodeId) -> bool {
     let na = netlist.node(a);
     let nb = netlist.node(b);
     if na.is_input() || nb.is_input() {
@@ -224,9 +219,7 @@ pub fn run(
     let mut outcome = SingleNodeOutcome::default();
     for &stem in stems {
         let (t0, t1) = simulate_stem(sim, stem, options);
-        outcome
-            .ties
-            .extend(extract_ties(netlist, stem, &t0, &t1));
+        outcome.ties.extend(extract_ties(netlist, stem, &t0, &t1));
         outcome
             .implications
             .extend(extract_relations(netlist, stem, &t0, &t1, class_mask));

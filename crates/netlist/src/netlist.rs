@@ -134,9 +134,7 @@ impl Netlist {
 
     /// Combinational gate node ids.
     pub fn gates(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.iter()
-            .filter(|(_, n)| n.is_gate())
-            .map(|(id, _)| id)
+        self.iter().filter(|(_, n)| n.is_gate()).map(|(id, _)| id)
     }
 
     /// Number of combinational gates.
@@ -530,7 +528,10 @@ mod tests {
         b.dff("q", "a").unwrap();
         b.output("g").unwrap();
         let n = b.build().unwrap();
-        assert_eq!(n.fanins(n.require("g").unwrap())[0], n.require("q").unwrap());
+        assert_eq!(
+            n.fanins(n.require("g").unwrap())[0],
+            n.require("q").unwrap()
+        );
     }
 
     #[test]

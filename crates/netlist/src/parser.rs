@@ -328,7 +328,7 @@ OUTPUT(q)
 q = LATCH(a)
 ";
         let n = parse_bench("p", src).unwrap();
-        let info = n.seq_info(n.require("q").unwrap()).unwrap().clone();
+        let info = *n.seq_info(n.require("q").unwrap()).unwrap();
         assert_eq!(info.kind, SeqKind::Latch);
         assert_eq!(info.ports, 2);
     }

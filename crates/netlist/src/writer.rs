@@ -50,7 +50,12 @@ pub fn write_bench(netlist: &Netlist) -> String {
             let _ = writeln!(out, "#pragma latch {} {}", node.name, info.ports);
         }
         if info.set != LineConstraint::Absent {
-            let _ = writeln!(out, "#pragma set {} {}", node.name, constraint_word(info.set));
+            let _ = writeln!(
+                out,
+                "#pragma set {} {}",
+                node.name,
+                constraint_word(info.set)
+            );
         }
         if info.reset != LineConstraint::Absent {
             let _ = writeln!(
@@ -76,8 +81,13 @@ pub fn write_bench(netlist: &Netlist) -> String {
                         let _ = writeln!(out, "{} = {}()", node.name, g.bench_name());
                     }
                     _ => {
-                        let _ =
-                            writeln!(out, "{} = {}({})", node.name, g.bench_name(), args.join(", "));
+                        let _ = writeln!(
+                            out,
+                            "{} = {}({})",
+                            node.name,
+                            g.bench_name(),
+                            args.join(", ")
+                        );
                     }
                 }
             }
@@ -131,10 +141,7 @@ q = DFF(g2)
         let q2 = n2.seq_info(n2.require("q").unwrap()).unwrap();
         assert_eq!(q1.edge, q2.edge);
         assert_eq!(q1.set, q2.set);
-        assert_eq!(
-            n1.clock_name(q1.clock),
-            n2.clock_name(q2.clock)
-        );
+        assert_eq!(n1.clock_name(q1.clock), n2.clock_name(q2.clock));
     }
 
     #[test]

@@ -119,9 +119,7 @@ fn backward_pass(
                         .collect();
                     if candidates.is_empty() {
                         false
-                    } else if candidates.len() == 1
-                        && values[candidates[0].index()] == Logic3::X
-                    {
+                    } else if candidates.len() == 1 && values[candidates[0].index()] == Logic3::X {
                         force(candidates[0], controlling, values, changed)
                     } else {
                         true

@@ -55,9 +55,10 @@ fn branch_open(netlist: &Netlist, implied: &[Logic3], gate: NodeId, pin: usize) 
     let Some(controlling) = gtype.controlling_value() else {
         return true; // XOR/XNOR/NOT/BUF never block
     };
-    node.fanins.iter().enumerate().all(|(j, &side)| {
-        j == pin || implied[side.index()] != Logic3::from_bool(controlling)
-    })
+    node.fanins
+        .iter()
+        .enumerate()
+        .all(|(j, &side)| j == pin || implied[side.index()] != Logic3::from_bool(controlling))
 }
 
 /// Observability of a specific fanout branch: the branch into pin `pin` of
@@ -110,7 +111,10 @@ mod tests {
         let obs = observable_nodes(&n, &implied);
         assert!(!obs[n.require("g").unwrap().index()]);
         assert!(!obs[n.require("a").unwrap().index()]);
-        assert!(obs[n.require("h").unwrap().index()], "h feeds the flip-flop");
+        assert!(
+            obs[n.require("h").unwrap().index()],
+            "h feeds the flip-flop"
+        );
     }
 
     #[test]
@@ -121,7 +125,13 @@ mod tests {
         let obs = observable_nodes(&n, &implied);
         let g = n.require("g").unwrap();
         let h = n.require("h").unwrap();
-        assert!(!branch_observable(&n, &implied, &obs, g, 0), "a into g is blocked");
-        assert!(branch_observable(&n, &implied, &obs, h, 1), "c into h is open");
+        assert!(
+            !branch_observable(&n, &implied, &obs, g, 0),
+            "a into g is blocked"
+        );
+        assert!(
+            branch_observable(&n, &implied, &obs, h, 1),
+            "c into h is open"
+        );
     }
 }

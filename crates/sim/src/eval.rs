@@ -2,6 +2,7 @@
 
 use crate::value::Logic3;
 use sla_netlist::GateType;
+use std::ops::Not;
 
 /// Evaluates a combinational gate over three-valued fanin values.
 pub fn eval_gate3(gate: GateType, fanins: impl Iterator<Item = Logic3>) -> Logic3 {
@@ -79,7 +80,7 @@ pub fn eval_gate64(gate: GateType, fanins: impl Iterator<Item = u64>) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::value::Logic3::{One, X, Zero};
+    use crate::value::Logic3::{One, Zero, X};
 
     #[test]
     fn and_nand_three_valued() {
@@ -113,13 +114,15 @@ mod tests {
         // Exhaustively compare bit 0 of the 64-wide evaluation against the
         // three-valued evaluation restricted to binary inputs, for 2-input gates.
         for gate in GateType::ALL {
-            if matches!(gate, GateType::Not | GateType::Buf | GateType::Const0 | GateType::Const1) {
+            if matches!(
+                gate,
+                GateType::Not | GateType::Buf | GateType::Const0 | GateType::Const1
+            ) {
                 continue;
             }
             for a in [false, true] {
                 for b in [false, true] {
-                    let scalar =
-                        eval_gate3(gate, [Logic3::from(a), Logic3::from(b)].into_iter());
+                    let scalar = eval_gate3(gate, [Logic3::from(a), Logic3::from(b)].into_iter());
                     let wide = eval_gate64(
                         gate,
                         [if a { 1u64 } else { 0 }, if b { 1u64 } else { 0 }].into_iter(),
@@ -132,7 +135,10 @@ mod tests {
 
     #[test]
     fn parallel_unary_and_consts() {
-        assert_eq!(eval_gate64(GateType::Not, [0b1010u64].into_iter()) & 0b1111, 0b0101);
+        assert_eq!(
+            eval_gate64(GateType::Not, [0b1010u64].into_iter()) & 0b1111,
+            0b0101
+        );
         assert_eq!(eval_gate64(GateType::Buf, [0xFFu64].into_iter()), 0xFF);
         assert_eq!(eval_gate64(GateType::Const0, [].into_iter()), 0);
         assert_eq!(eval_gate64(GateType::Const1, [].into_iter()), u64::MAX);

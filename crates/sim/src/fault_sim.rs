@@ -145,8 +145,7 @@ impl<'a> FaultSimulator<'a> {
                 };
                 let mut v = crate::eval::eval_gate3(
                     gate,
-                    node
-                        .fanins
+                    node.fanins
                         .iter()
                         .enumerate()
                         .map(|(pin, &d)| fanin_value(pin, d)),

@@ -65,7 +65,11 @@ impl<'a> CombEvaluator<'a> {
         let mut conflict = None;
         // Without equivalence forwarding one pass suffices; with it, values can
         // flow "backwards" in the topological order, so iterate to fixpoint.
-        let max_passes = if equiv.is_some() { self.levels.order().len().max(1) } else { 1 };
+        let max_passes = if equiv.is_some() {
+            self.levels.order().len().max(1)
+        } else {
+            1
+        };
         for _ in 0..max_passes {
             let changed = self.eval_pass(values, forced, equiv, &mut conflict);
             if !changed {

@@ -482,6 +482,8 @@ mod tests {
         let trace = sim.run(&[Injection::new(a, true, 0)], &SimOptions::default());
         let frame0: Vec<(NodeId, bool)> = trace.assignments(0).collect();
         assert!(frame0.contains(&(a, true)));
-        assert!(frame0.iter().all(|&(node, _)| trace.value(0, node).is_binary()));
+        assert!(frame0
+            .iter()
+            .all(|&(node, _)| trace.value(0, node).is_binary()));
     }
 }

@@ -1,7 +1,8 @@
 //! Simulation substrate for the sequential-learning / ATPG stack.
 //!
-//! The crate provides every simulation service the learning engine
-//! ([`sla-core`](https://example.com)) and the ATPG engine depend on:
+//! The crate provides every simulation service the learning engine (the
+//! `sla-core` crate, which depends on this one) and the ATPG engine
+//! (`sla-atpg`) build on:
 //!
 //! * [`Logic3`] — three-valued logic (`0`, `1`, `X`) and gate evaluation,
 //! * [`CombEvaluator`] — single-frame evaluation of the combinational logic in

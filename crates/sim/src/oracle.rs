@@ -202,20 +202,14 @@ impl<'a> StateOracle<'a> {
             // The image of a set of states is a subset of the universal set; the
             // iteration is monotonically decreasing once intersected with the
             // previous set, and reaches a fixpoint in at most 2^n steps.
-            let intersect: Vec<bool> = current
-                .iter()
-                .zip(&next)
-                .map(|(&a, &b)| a && b)
-                .collect();
+            let intersect: Vec<bool> = current.iter().zip(&next).map(|(&a, &b)| a && b).collect();
             let same = intersect == current;
             current = if next_count == 0 { next } else { intersect };
             if same || next_count == 0 {
                 break;
             }
         }
-        self.steady = (0..total as u64)
-            .filter(|&s| current[s as usize])
-            .collect();
+        self.steady = (0..total as u64).filter(|&s| current[s as usize]).collect();
     }
 
     /// Two-valued evaluation of one frame from a packed state and input code.
@@ -248,17 +242,17 @@ impl<'a> StateOracle<'a> {
 }
 
 /// Two-valued gate evaluation.
-fn eval2(gate: sla_netlist::GateType, fanins: impl Iterator<Item = bool>) -> bool {
+fn eval2(gate: sla_netlist::GateType, mut fanins: impl Iterator<Item = bool>) -> bool {
     use sla_netlist::GateType as G;
     match gate {
-        G::And => fanins.fold(true, |a, b| a && b),
-        G::Nand => !fanins.fold(true, |a, b| a && b),
-        G::Or => fanins.fold(false, |a, b| a || b),
-        G::Nor => !fanins.fold(false, |a, b| a || b),
+        G::And => fanins.all(|b| b),
+        G::Nand => !fanins.all(|b| b),
+        G::Or => fanins.any(|b| b),
+        G::Nor => !fanins.any(|b| b),
         G::Xor => fanins.fold(false, |a, b| a ^ b),
         G::Xnor => !fanins.fold(false, |a, b| a ^ b),
-        G::Not => !fanins.into_iter().next().unwrap_or(false),
-        G::Buf => fanins.into_iter().next().unwrap_or(false),
+        G::Not => !fanins.next().unwrap_or(false),
+        G::Buf => fanins.next().unwrap_or(false),
         G::Const0 => false,
         G::Const1 => true,
     }

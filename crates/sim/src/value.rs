@@ -39,15 +39,6 @@ impl Logic3 {
         self != Logic3::X
     }
 
-    /// Three-valued negation.
-    pub fn not(self) -> Logic3 {
-        match self {
-            Logic3::Zero => Logic3::One,
-            Logic3::One => Logic3::Zero,
-            Logic3::X => Logic3::X,
-        }
-    }
-
     /// Three-valued conjunction.
     pub fn and(self, other: Logic3) -> Logic3 {
         match (self, other) {
@@ -71,6 +62,19 @@ impl Logic3 {
         match (self.to_bool(), other.to_bool()) {
             (Some(a), Some(b)) => Logic3::from_bool(a ^ b),
             _ => Logic3::X,
+        }
+    }
+}
+
+impl std::ops::Not for Logic3 {
+    type Output = Logic3;
+
+    /// Three-valued negation (`!X` stays `X`).
+    fn not(self) -> Logic3 {
+        match self {
+            Logic3::Zero => Logic3::One,
+            Logic3::One => Logic3::Zero,
+            Logic3::X => Logic3::X,
         }
     }
 }
@@ -133,8 +137,8 @@ mod tests {
     fn de_morgan_holds_in_three_valued_logic() {
         for a in ALL {
             for b in ALL {
-                assert_eq!(a.and(b).not(), a.not().or(b.not()));
-                assert_eq!(a.or(b).not(), a.not().and(b.not()));
+                assert_eq!(!a.and(b), (!a).or(!b));
+                assert_eq!(!a.or(b), (!a).and(!b));
             }
         }
     }

@@ -51,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("  UNSOUND: {}", imp.describe(&netlist));
         }
     }
-    println!("{sound}/{} relations verified sound against the oracle", relations.len());
+    println!(
+        "{sound}/{} relations verified sound against the oracle",
+        relations.len()
+    );
 
     // Each relation F_a=va -> F_b=vb rules out a quarter of the state space
     // (all states with F_a=va and F_b=!vb); show the first few.

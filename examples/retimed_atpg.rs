@@ -35,15 +35,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut faults = collapsed_fault_list(&netlist);
     faults.truncate(120);
-    println!("Targeting {} collapsed faults, backtrack limit 30\n", faults.len());
+    println!(
+        "Targeting {} collapsed faults, backtrack limit 30\n",
+        faults.len()
+    );
 
     for (label, mode) in [
         ("no learning", LearningMode::None),
         ("forbidden-value implications", LearningMode::ForbiddenValue),
         ("known-value implications", LearningMode::KnownValue),
     ] {
-        let engine = AtpgEngine::new(&netlist, AtpgConfig::with_backtrack_limit(30).learning(mode))?
-            .with_learned(learned.clone());
+        let engine = AtpgEngine::new(
+            &netlist,
+            AtpgConfig::with_backtrack_limit(30).learning(mode),
+        )?
+        .with_learned(learned.clone());
         let run = engine.run(&faults);
         println!(
             "{label:<30} detected {:>3}  untestable {:>3}  aborted {:>3}  backtracks {:>6}  cpu {:?}",

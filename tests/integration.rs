@@ -3,8 +3,8 @@
 
 use seqlearn::atpg::{AtpgConfig, AtpgEngine, FaultStatus, LearnedData, LearningMode};
 use seqlearn::circuits::{
-    build_profile, paper_style_figure1, paper_style_figure2, profile_by_name, retimed_circuit,
-    s27, RetimedConfig,
+    build_profile, paper_style_figure1, paper_style_figure2, profile_by_name, retimed_circuit, s27,
+    RetimedConfig,
 };
 use seqlearn::learn::{LearnConfig, SequentialLearner, TieKind};
 use seqlearn::netlist::parser::parse_bench;
@@ -45,7 +45,11 @@ fn figure1_learning_finds_ties_equivalence_relations_and_invalid_states() {
         );
     }
     for tie in &result.tied {
-        assert!(oracle.tie_holds(tie.node, tie.value), "unsound tie {}", tie.describe(&netlist));
+        assert!(
+            oracle.tie_holds(tie.node, tie.value),
+            "unsound tie {}",
+            tie.describe(&netlist)
+        );
     }
 }
 

@@ -7,8 +7,8 @@ use seqlearn::circuits::{retimed_circuit, synthesize, RetimedConfig, SynthConfig
 use seqlearn::learn::{LearnConfig, SequentialLearner};
 use seqlearn::netlist::parser::parse_bench;
 use seqlearn::netlist::writer::write_bench;
-use seqlearn::sim::{FaultSimulator, Logic3, StateOracle, TestSequence};
 use seqlearn::sim::collapsed_fault_list;
+use seqlearn::sim::{FaultSimulator, Logic3, StateOracle, TestSequence};
 
 /// Small synthetic circuits the oracle can enumerate exhaustively.
 fn small_synth(seed: u64, flip_flops: usize, gates: usize) -> seqlearn::netlist::Netlist {

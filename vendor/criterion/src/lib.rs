@@ -1,0 +1,325 @@
+//! Minimal, dependency-free stand-in for the subset of the `criterion` 0.5 API
+//! used by the `sla-bench` benches: `criterion_group!` / `criterion_main!`,
+//! `Criterion::benchmark_group`, `BenchmarkGroup::{sample_size, bench_function,
+//! bench_with_input, finish}`, `Bencher::iter`, `BenchmarkId` and `black_box`.
+//!
+//! The build environment has no network access to crates.io, so the real crate
+//! cannot be fetched. This stub actually measures: each sample times one
+//! invocation of the routine with `std::time::Instant`, results are printed in
+//! a criterion-like format, and — unlike the real crate — a machine-readable
+//! summary is appended to the path named by the `SLA_BENCH_JSON` environment
+//! variable so the repo can commit benchmark baselines without parsing stdout.
+
+use std::fmt;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One completed benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    pub group: String,
+    pub bench: String,
+    pub samples: usize,
+    pub mean_ns: f64,
+    pub median_ns: f64,
+    pub min_ns: f64,
+    pub max_ns: f64,
+}
+
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Identifier of a parameterised benchmark, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name in `bench_function` / `bench_with_input`.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Timing harness handed to the benchmark closure, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<u64>,
+}
+
+impl Bencher {
+    /// Times `routine`: a short warm-up, then `sample_size` timed invocations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        self.samples_ns.clear();
+        self.samples_ns.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples_ns
+                .push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+}
+
+/// A named group of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for source compatibility with real criterion; the stub's
+    /// sample count alone bounds measurement, so the duration is ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        self.record(&id, &bencher.samples_ns);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let id = id.into_benchmark_id();
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher, input);
+        self.record(&id, &bencher.samples_ns);
+        self
+    }
+
+    /// Ends the group. (Results are recorded eagerly; this mirrors the real API.)
+    pub fn finish(self) {}
+
+    fn record(&self, id: &BenchmarkId, samples_ns: &[u64]) {
+        assert!(
+            !samples_ns.is_empty(),
+            "benchmark {}/{} never called Bencher::iter",
+            self.name,
+            id.id
+        );
+        let mut sorted: Vec<u64> = samples_ns.to_vec();
+        sorted.sort_unstable();
+        let mean = sorted.iter().map(|&n| n as f64).sum::<f64>() / sorted.len() as f64;
+        let median = if sorted.len() % 2 == 1 {
+            sorted[sorted.len() / 2] as f64
+        } else {
+            (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) as f64 / 2.0
+        };
+        let record = BenchRecord {
+            group: self.name.clone(),
+            bench: id.id.clone(),
+            samples: sorted.len(),
+            mean_ns: mean,
+            median_ns: median,
+            min_ns: sorted[0] as f64,
+            max_ns: sorted[sorted.len() - 1] as f64,
+        };
+        println!(
+            "{}/{:<40} time: [{} {} {}]",
+            record.group,
+            record.bench,
+            format_ns(record.min_ns),
+            format_ns(record.median_ns),
+            format_ns(record.max_ns),
+        );
+        RESULTS.lock().unwrap().push(record);
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Benchmark manager, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark (criterion's `Criterion::bench_function`).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group(id.to_string())
+            .bench_function("default", f);
+        self
+    }
+}
+
+/// Called by `criterion_main!` after all groups ran: writes the JSON summary if
+/// `SLA_BENCH_JSON` names a file.
+pub fn finalize() {
+    let records = RESULTS.lock().unwrap();
+    if let Ok(path) = std::env::var("SLA_BENCH_JSON") {
+        if !path.is_empty() {
+            // One JSON object per line (JSON Lines): several bench binaries
+            // append to the same file in sequence, and per-line objects stay
+            // trivially machine-readable without cross-process coordination.
+            let mut out = String::new();
+            for r in records.iter() {
+                out.push_str(&format!(
+                    "{{\"group\": {:?}, \"bench\": {:?}, \"samples\": {}, \
+                     \"mean_ns\": {:.0}, \"median_ns\": {:.0}, \"min_ns\": {:.0}, \"max_ns\": {:.0}}}\n",
+                    r.group, r.bench, r.samples, r.mean_ns, r.median_ns, r.min_ns, r.max_ns,
+                ));
+            }
+            if let Err(e) = append_json(&path, &out) {
+                eprintln!("warning: could not write SLA_BENCH_JSON={path}: {e}");
+            }
+        }
+    }
+}
+
+fn append_json(path: &str, chunk: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    file.write_all(chunk.as_bytes())
+}
+
+/// Defines a function running a list of benchmark targets, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Defines `main` for a bench binary (`harness = false`), mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes `--bench` (and possibly filter strings) to bench
+            // binaries; the stub runs everything regardless.
+            $( $group(); )+
+            $crate::finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_statistics() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group
+            .sample_size(5)
+            .bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+        let results = RESULTS.lock().unwrap();
+        let r = results
+            .iter()
+            .find(|r| r.group == "stub" && r.bench == "noop")
+            .expect("recorded");
+        assert_eq!(r.samples, 5);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("learn", "s400-120g").id, "learn/s400-120g");
+        assert_eq!(BenchmarkId::from_parameter(5).id, "5");
+    }
+}

@@ -1,0 +1,215 @@
+//! Minimal, dependency-free stand-in for the subset of the `proptest` 1.x API
+//! used by this workspace: the `proptest!` macro with `name in range` argument
+//! strategies and a block-level `#![proptest_config(...)]`, plus
+//! `prop_assert!` / `prop_assert_eq!` and `ProptestConfig::with_cases`.
+//!
+//! The build environment has no network access to crates.io, so the real crate
+//! cannot be fetched. The stub keeps the semantics the tests rely on —
+//! deterministic sampling of integer-range strategies for a configurable
+//! number of cases, with assertion failures reporting the formatted message —
+//! but performs no shrinking: a failing case panics with the sampled values
+//! already baked into the message by the caller.
+
+/// Deterministic generator driving strategy sampling (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Value-generation strategies, mirroring `proptest::strategy`.
+pub mod strategy {
+    use super::TestRng;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    let span = (end - start) as u64 + 1;
+                    start + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    /// Strategy producing one fixed value, mirroring `proptest::strategy::Just`.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl Strategy for bool {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Runner configuration, mirroring `proptest::test_runner::ProptestConfig`.
+pub mod test_runner {
+    /// How many random cases each property test executes.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 32 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+}
+
+/// Property assertion: like `assert!` (the stub does not shrink, so failures
+/// simply panic with the formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property equality assertion: like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Property inequality assertion: like `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` item becomes a
+/// `#[test]` running `cases` sampled executions of its body.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (
+        config = ($config:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                // Seed differs per test (by name) but is stable across runs.
+                let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+                for byte in stringify!($name).bytes() {
+                    seed = (seed ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01B3);
+                }
+                let mut rng = $crate::TestRng::new(seed);
+                for _case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::TestRng;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        /// Sampled values respect their range strategies.
+        #[test]
+        fn ranges_are_respected(a in 3u64..9, b in 0usize..5, c in 2i64..=4) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!(b < 5);
+            prop_assert!((2..=4).contains(&c));
+        }
+    }
+
+    proptest! {
+        /// The default config applies when no block config is given.
+        #[test]
+        fn default_config_runs(x in 0u32..10) {
+            prop_assert_eq!(x < 10, true);
+        }
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        let mut a = TestRng::new(99);
+        let mut b = TestRng::new(99);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}
