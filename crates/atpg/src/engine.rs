@@ -97,7 +97,7 @@ impl<'a> AtpgEngine<'a> {
     /// Returns an error when the netlist cannot be levelized.
     pub fn new(netlist: &'a Netlist, config: AtpgConfig) -> Result<Self> {
         // Levelization errors are surfaced early by constructing a generator.
-        TestGenerator::new(netlist, config, LearnedData::new())?;
+        TestGenerator::new(netlist, config, &LearnedData::new())?;
         Ok(AtpgEngine {
             netlist,
             config,
@@ -129,7 +129,7 @@ impl<'a> AtpgEngine<'a> {
 
         // Tied-gate screening: a fault stuck at the tied value of its line can
         // never produce a difference; classified untestable with zero search.
-        if !self.learned.tied.is_empty() {
+        if !self.learned.tied().is_empty() {
             for (i, fault) in faults.iter().enumerate() {
                 let line_value = match fault.site {
                     FaultSite::Output(node) => self.learned.tied_value(node),
@@ -144,7 +144,7 @@ impl<'a> AtpgEngine<'a> {
             }
         }
 
-        let generator = TestGenerator::new(self.netlist, self.config, self.learned.clone())
+        let generator = TestGenerator::new(self.netlist, self.config, &self.learned)
             .expect("netlist already levelized in new()");
         let fault_sim =
             FaultSimulator::new(self.netlist).expect("netlist already levelized in new()");

@@ -1,20 +1,34 @@
 //! Packaging of sequential learning results for ATPG consumption, and the
 //! per-frame implication layer (forbidden / known values).
+//!
+//! The layer machinery is built for the test generator's hot loop:
+//!
+//! * [`LiteralAdjacency`] — a CSR-style adjacency view of the learned
+//!   [`ImplicationDb`]: for every literal (node × polarity) the consequent
+//!   literals, in two flat vectors with no per-lookup hashing,
+//! * [`ImplicationLayer`] — a from-scratch layer over flat per-frame arrays;
+//!   the reference implementation,
+//! * [`IncrementalLayer`] — the same layer maintained incrementally across
+//!   the decide/backtrack steps of a branch-and-bound search: every search
+//!   point only processes the values that *became* binary since its parent
+//!   (three-valued simulation is monotone in the assignments, so refinements
+//!   never retract a binary value), and backtracking unwinds a trail instead
+//!   of rebuilding. Property tests assert the incremental state always equals
+//!   a from-scratch rebuild.
 
 use crate::config::LearningMode;
-use sla_core::{ImplicationDb, LearnResult, Literal};
-use sla_netlist::{Netlist, NodeId};
+use sla_core::{ImplicationDb, LearnResult};
+use sla_netlist::NodeId;
 use sla_sim::Logic3;
-use std::collections::HashMap;
 
 /// Learned data in the form the test generator consumes: the implication
 /// database plus tied-gate constants.
 #[derive(Debug, Clone, Default)]
 pub struct LearnedData {
     /// Same-frame implications (with contrapositive closure).
-    pub implications: ImplicationDb,
-    /// Tied gates as constants.
-    pub tied: Vec<(NodeId, bool)>,
+    implications: ImplicationDb,
+    /// Tied gates as constants, sorted by node id for binary search.
+    tied: Vec<(NodeId, bool)>,
 }
 
 impl LearnedData {
@@ -23,17 +37,34 @@ impl LearnedData {
         LearnedData::default()
     }
 
+    /// Builds learned data from explicit parts.
+    pub fn from_parts(implications: ImplicationDb, mut tied: Vec<(NodeId, bool)>) -> Self {
+        tied.sort_by_key(|&(n, _)| n);
+        tied.dedup_by_key(|&mut (n, _)| n);
+        LearnedData { implications, tied }
+    }
+
     /// Extracts the ATPG-relevant part of a learning result.
     pub fn from_learn_result(result: &LearnResult) -> Self {
-        LearnedData {
-            implications: result.implications.clone(),
-            tied: result.tied_constants(),
-        }
+        LearnedData::from_parts(result.implications.clone(), result.tied_constants())
+    }
+
+    /// The learned same-frame implications.
+    pub fn implications(&self) -> &ImplicationDb {
+        &self.implications
+    }
+
+    /// The tied gates as `(node, value)` constants, sorted by node id.
+    pub fn tied(&self) -> &[(NodeId, bool)] {
+        &self.tied
     }
 
     /// Returns the tied value of `node` if the node is tied.
     pub fn tied_value(&self, node: NodeId) -> Option<bool> {
-        self.tied.iter().find(|&&(n, _)| n == node).map(|&(_, v)| v)
+        self.tied
+            .binary_search_by_key(&node, |&(n, _)| n)
+            .ok()
+            .map(|i| self.tied[i].1)
     }
 
     /// Returns `true` when there is nothing to use.
@@ -48,6 +79,116 @@ impl From<&LearnResult> for LearnedData {
     }
 }
 
+/// Compact literal code: `node.0 * 2 + value`.
+#[inline]
+fn code(node: NodeId, value: bool) -> u32 {
+    node.0 * 2 + value as u32
+}
+
+/// CSR-style adjacency view of an [`ImplicationDb`]: for every literal, the
+/// consequent literals of its direct implications (contrapositives included),
+/// as flat index arrays. Built once per test-generation run so the search
+/// loop never hashes.
+#[derive(Debug, Clone, Default)]
+pub struct LiteralAdjacency {
+    /// `offsets[lit] .. offsets[lit + 1]` indexes `targets`.
+    offsets: Vec<u32>,
+    /// Consequent literal codes.
+    targets: Vec<u32>,
+    /// Nodes with at least one edge. Contrapositive closure makes the
+    /// antecedent and consequent node sets identical, so these are exactly
+    /// the nodes the implication layer can ever see events or hints on.
+    relevant: Vec<u32>,
+}
+
+impl LiteralAdjacency {
+    /// Builds the adjacency for a netlist of `num_nodes` nodes.
+    pub fn build(db: &ImplicationDb, num_nodes: usize) -> Self {
+        let literals = num_nodes * 2;
+        let edges = || {
+            db.iter().flat_map(|(imp, _)| {
+                let contra = imp.contrapositive();
+                [
+                    (imp.antecedent, imp.consequent),
+                    (contra.antecedent, contra.consequent),
+                ]
+            })
+        };
+        let mut counts = vec![0u32; literals + 1];
+        for (a, _) in edges() {
+            counts[code(a.node, a.value) as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts;
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; offsets[literals] as usize];
+        for (a, c) in edges() {
+            let slot = &mut cursor[code(a.node, a.value) as usize];
+            targets[*slot as usize] = code(c.node, c.value);
+            *slot += 1;
+        }
+        // Deterministic consequent order within each literal (the order the
+        // old hash-map layer produced); the layer result does not depend on
+        // it, but determinism keeps runs reproducible.
+        for lit in 0..literals {
+            let (s, e) = (offsets[lit] as usize, offsets[lit + 1] as usize);
+            targets[s..e].sort_unstable();
+        }
+        let relevant = (0..num_nodes as u32)
+            .filter(|&n| {
+                let lit0 = n as usize * 2;
+                offsets[lit0 + 2] > offsets[lit0]
+            })
+            .collect();
+        LiteralAdjacency {
+            offsets,
+            targets,
+            relevant,
+        }
+    }
+
+    /// Consequent literal codes of `lit`.
+    #[inline]
+    fn consequents(&self, lit: u32) -> &[u32] {
+        let s = self.offsets[lit as usize] as usize;
+        let e = self.offsets[lit as usize + 1] as usize;
+        &self.targets[s..e]
+    }
+
+    /// Returns `true` when no implication is stored.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Number of directed edges (a relation and its contrapositive count two).
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Nodes with at least one edge, ascending.
+    pub fn relevant_nodes(&self) -> &[u32] {
+        &self.relevant
+    }
+}
+
+/// Hint slot encoding of the flat layer arrays.
+const NO_HINT: u8 = 0;
+
+#[inline]
+fn encode_hint(value: bool) -> u8 {
+    1 + value as u8
+}
+
+#[inline]
+fn decode_hint(slot: u8) -> Option<bool> {
+    match slot {
+        NO_HINT => None,
+        h => Some(h == 2),
+    }
+}
+
 /// The per-frame annotation layer derived from learned implications under the
 /// current (good-machine) assignments of one search point.
 ///
@@ -59,10 +200,15 @@ impl From<&LearnResult> for LearnedData {
 ///
 /// In both modes a binary simulated value that contradicts a hint is a
 /// conflict that triggers an immediate backtrack.
+///
+/// This type rebuilds from scratch on every call and is the reference for the
+/// [`IncrementalLayer`] the test generator uses.
 #[derive(Debug, Clone, Default)]
 pub struct ImplicationLayer {
-    /// `(frame, node) -> hinted value`.
-    hints: HashMap<(usize, u32), bool>,
+    num_nodes: usize,
+    /// Flat `(frame * num_nodes + node)` hint slots.
+    hints: Vec<u8>,
+    hint_count: usize,
     /// Set when a contradiction was found while building the layer.
     pub conflict: bool,
 }
@@ -70,49 +216,51 @@ pub struct ImplicationLayer {
 impl ImplicationLayer {
     /// Builds the layer for a whole iterative array from the good-machine
     /// values, under the given learning mode.
-    pub fn build(
-        netlist: &Netlist,
-        learned: &LearnedData,
-        mode: LearningMode,
-        good: &[Vec<Logic3>],
-    ) -> Self {
+    pub fn build(adj: &LiteralAdjacency, mode: LearningMode, good: &[Vec<Logic3>]) -> Self {
         let mut layer = ImplicationLayer::default();
-        if !mode.uses_learning() || learned.implications.is_empty() {
+        if !mode.uses_learning() || adj.is_empty() || good.is_empty() {
             return layer;
         }
-        let _ = netlist;
+        let num_nodes = good[0].len();
+        layer.num_nodes = num_nodes;
+        layer.hints = vec![NO_HINT; num_nodes * good.len()];
+        let mut queue: Vec<u32> = Vec::new();
         for (frame, values) in good.iter().enumerate() {
+            let base = frame * num_nodes;
             // Seed: every binary simulated value fires its implications.
-            let mut queue: Vec<Literal> = Vec::new();
+            queue.clear();
             for (idx, v) in values.iter().enumerate() {
                 if let Some(b) = v.to_bool() {
-                    queue.push(Literal::new(NodeId(idx as u32), b));
+                    queue.push(code(NodeId(idx as u32), b));
                 }
             }
             let mut head = 0;
             while head < queue.len() {
                 let lit = queue[head];
                 head += 1;
-                for consequent in learned.implications.consequents(lit) {
-                    let key = (frame, consequent.node.0);
-                    let sim_value = values[consequent.node.index()];
+                for &c in adj.consequents(lit) {
+                    let c_node = (c >> 1) as usize;
+                    let c_value = c & 1 == 1;
+                    let sim_value = values[c_node];
                     if let Some(b) = sim_value.to_bool() {
-                        if b != consequent.value {
+                        if b != c_value {
                             layer.conflict = true;
                         }
                         continue;
                     }
-                    match layer.hints.get(&key) {
-                        Some(&existing) if existing != consequent.value => {
+                    let slot = &mut layer.hints[base + c_node];
+                    match decode_hint(*slot) {
+                        Some(existing) if existing != c_value => {
                             layer.conflict = true;
                         }
                         Some(_) => {}
                         None => {
-                            layer.hints.insert(key, consequent.value);
+                            *slot = encode_hint(c_value);
+                            layer.hint_count += 1;
                             // Known-value mode chases implications transitively;
                             // forbidden-value mode stops at direct consequents.
                             if mode == LearningMode::KnownValue {
-                                queue.push(consequent);
+                                queue.push(c);
                             }
                         }
                     }
@@ -127,25 +275,260 @@ impl ImplicationLayer {
 
     /// The hinted value of `node` in `frame`, if any.
     pub fn hint(&self, frame: usize, node: NodeId) -> Option<bool> {
-        self.hints.get(&(frame, node.0)).copied()
+        self.hints
+            .get(frame * self.num_nodes + node.index())
+            .copied()
+            .and_then(decode_hint)
     }
 
     /// Number of hinted `(frame, node)` pairs.
     pub fn len(&self) -> usize {
-        self.hints.len()
+        self.hint_count
     }
 
     /// Returns `true` when the layer holds no hints.
     pub fn is_empty(&self) -> bool {
-        self.hints.is_empty()
+        self.hint_count == 0
+    }
+}
+
+/// Marks the trail positions a search level starts at.
+#[derive(Debug, Clone, Copy)]
+struct LevelMark {
+    hints: u32,
+    seen: u32,
+}
+
+/// An [`ImplicationLayer`] maintained incrementally across the decide /
+/// backtrack steps of a branch-and-bound search.
+///
+/// Protocol: after every (re)simulation of the good machine, call
+/// [`IncrementalLayer::update`] with the current decision depth; before
+/// re-deciding a flipped decision, call [`IncrementalLayer::pop_to`] with the
+/// number of levels that remain valid (the base level plus one level per
+/// unchanged decision). `update` only scans for values that became binary
+/// since the parent level and fires the implications of exactly those
+/// literals; `pop_to` unwinds the hint and seen trails.
+#[derive(Debug, Clone)]
+pub struct IncrementalLayer<'a> {
+    adj: &'a LiteralAdjacency,
+    mode: LearningMode,
+    num_nodes: usize,
+    frames: usize,
+    /// Flat `(frame * num_nodes + node)` hint slots.
+    hints: Vec<u8>,
+    /// Flat flags: the slot's value became binary at some live level.
+    seen: Vec<bool>,
+    hint_trail: Vec<u32>,
+    seen_trail: Vec<u32>,
+    levels: Vec<LevelMark>,
+    /// Level at which the current conflict was detected, if any.
+    conflict_level: Option<usize>,
+    /// Scratch queue of `(frame, literal)` events.
+    queue: Vec<(u32, u32)>,
+}
+
+impl<'a> IncrementalLayer<'a> {
+    /// Creates an empty layer over `frames × num_nodes` slots.
+    pub fn new(
+        adj: &'a LiteralAdjacency,
+        mode: LearningMode,
+        frames: usize,
+        num_nodes: usize,
+    ) -> Self {
+        let slots = if mode.uses_learning() && !adj.is_empty() {
+            frames * num_nodes
+        } else {
+            0 // inert layer: no learning to track
+        };
+        IncrementalLayer {
+            adj,
+            mode,
+            num_nodes,
+            frames,
+            hints: vec![NO_HINT; slots],
+            seen: vec![false; slots],
+            hint_trail: Vec::new(),
+            seen_trail: Vec::new(),
+            levels: Vec::new(),
+            conflict_level: None,
+            queue: Vec::new(),
+        }
+    }
+
+    /// Opens level `level` (which must equal the number of live levels) and
+    /// processes every good-machine value that became binary since the parent
+    /// level. Returns the conflict flag.
+    ///
+    /// `from_frame` is the earliest frame the triggering event (decision or
+    /// flip) can influence: forward simulation never changes a frame before
+    /// the frame of the assignment, so earlier frames need no rescan. Pass 0
+    /// for the initial, decision-free search point.
+    ///
+    /// `parent_good` may carry the good-machine values of the *parent* level
+    /// (sound only on plain decision steps, where the previous search point
+    /// is the parent): frames with identical values hold no new events and
+    /// are skipped with one slice compare.
+    pub fn update(
+        &mut self,
+        level: usize,
+        good: &[Vec<Logic3>],
+        from_frame: usize,
+        parent_good: Option<&[Logic3]>,
+    ) -> bool {
+        assert_eq!(level, self.levels.len(), "levels must be pushed in order");
+        self.levels.push(LevelMark {
+            hints: self.hint_trail.len() as u32,
+            seen: self.seen_trail.len() as u32,
+        });
+        if self.hints.is_empty() {
+            return false;
+        }
+        let mut conflict = self.conflict_level.is_some();
+        let adj = self.adj;
+        let chase = self.mode == LearningMode::KnownValue;
+        self.queue.clear();
+        for (frame, values) in good.iter().enumerate().take(self.frames).skip(from_frame) {
+            let base = frame * self.num_nodes;
+            if let Some(parent) = parent_good {
+                if parent[base..base + self.num_nodes] == values[..] {
+                    continue; // value-identical frame: no new events
+                }
+            }
+            // Only nodes with implication edges can fire events or carry
+            // hints; the rest of the frame is irrelevant to the layer.
+            for &nidx in adj.relevant_nodes() {
+                let idx = nidx as usize;
+                let Some(b) = values[idx].to_bool() else {
+                    continue;
+                };
+                let slot = base + idx;
+                if self.seen[slot] {
+                    continue;
+                }
+                self.seen[slot] = true;
+                self.seen_trail.push(slot as u32);
+                // A previously derived hint contradicted by the newly binary
+                // value is a conflict (the rebuild would catch it when firing
+                // the hint's antecedent).
+                if let Some(h) = decode_hint(self.hints[slot]) {
+                    if h != b {
+                        conflict = true;
+                    }
+                }
+                let lit = code(NodeId(nidx), b);
+                if chase {
+                    // Known-value mode chases transitively: queue the event so
+                    // derived hints fire their own consequents.
+                    self.queue.push((frame as u32, lit));
+                } else {
+                    // Forbidden-value mode stops at direct consequents: fire
+                    // inline, no queue round-trip.
+                    for &c in adj.consequents(lit) {
+                        let c_node = (c >> 1) as usize;
+                        let c_value = c & 1 == 1;
+                        if let Some(bb) = values[c_node].to_bool() {
+                            if bb != c_value {
+                                conflict = true;
+                            }
+                            continue;
+                        }
+                        let c_slot = base + c_node;
+                        match decode_hint(self.hints[c_slot]) {
+                            Some(existing) if existing != c_value => {
+                                conflict = true;
+                            }
+                            Some(_) => {}
+                            None => {
+                                self.hints[c_slot] = encode_hint(c_value);
+                                self.hint_trail.push(c_slot as u32);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut head = 0;
+        while head < self.queue.len() {
+            let (frame, lit) = self.queue[head];
+            head += 1;
+            let base = frame as usize * self.num_nodes;
+            for &c in adj.consequents(lit) {
+                let c_node = (c >> 1) as usize;
+                let c_value = c & 1 == 1;
+                if let Some(b) = good[frame as usize][c_node].to_bool() {
+                    if b != c_value {
+                        conflict = true;
+                    }
+                    continue;
+                }
+                let slot = base + c_node;
+                match decode_hint(self.hints[slot]) {
+                    Some(existing) if existing != c_value => {
+                        conflict = true;
+                    }
+                    Some(_) => {}
+                    None => {
+                        self.hints[slot] = encode_hint(c_value);
+                        self.hint_trail.push(slot as u32);
+                        self.queue.push((frame, c));
+                    }
+                }
+            }
+        }
+        if conflict && self.conflict_level.is_none() {
+            self.conflict_level = Some(level);
+        }
+        conflict
+    }
+
+    /// Unwinds to the first `keep` levels, retracting every hint and seen flag
+    /// recorded by the removed levels.
+    pub fn pop_to(&mut self, keep: usize) {
+        while self.levels.len() > keep {
+            let mark = self.levels.pop().expect("non-empty level stack");
+            while self.hint_trail.len() > mark.hints as usize {
+                let slot = self.hint_trail.pop().expect("trail entry") as usize;
+                self.hints[slot] = NO_HINT;
+            }
+            while self.seen_trail.len() > mark.seen as usize {
+                let slot = self.seen_trail.pop().expect("trail entry") as usize;
+                self.seen[slot] = false;
+            }
+        }
+        if self.conflict_level.is_some_and(|l| l >= keep) {
+            self.conflict_level = None;
+        }
+    }
+
+    /// Returns `true` when the live levels contain a contradiction.
+    pub fn conflict(&self) -> bool {
+        self.conflict_level.is_some()
+    }
+
+    /// The hinted value of `node` in `frame`, if any.
+    ///
+    /// Hints are only meaningful for nodes that are `X` in the current good
+    /// machine; a node that became binary keeps its (now redundant) hint slot
+    /// until the level that derived it is popped.
+    pub fn hint(&self, frame: usize, node: NodeId) -> Option<bool> {
+        self.hints
+            .get(frame * self.num_nodes + node.index())
+            .copied()
+            .and_then(decode_hint)
+    }
+
+    /// Number of frames the layer spans.
+    pub fn frames(&self) -> usize {
+        self.frames
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sla_core::{Implication, LearnConfig, SequentialLearner};
-    use sla_netlist::{GateType, NetlistBuilder};
+    use sla_core::{Implication, LearnConfig, Literal, SequentialLearner};
+    use sla_netlist::{GateType, Netlist, NetlistBuilder};
 
     fn exclusive_pair() -> Netlist {
         let mut b = NetlistBuilder::new("pair");
@@ -169,6 +552,10 @@ mod tests {
         LearnedData::from(&result)
     }
 
+    fn adjacency_for(n: &Netlist, learned: &LearnedData) -> LiteralAdjacency {
+        LiteralAdjacency::build(learned.implications(), n.num_nodes())
+    }
+
     #[test]
     fn from_learn_result_keeps_relations_and_ties() {
         let n = exclusive_pair();
@@ -176,20 +563,58 @@ mod tests {
         assert!(!learned.is_empty());
         let f1 = n.require("f1").unwrap();
         let f2 = n.require("f2").unwrap();
-        assert!(learned.implications.implies(f1, true, f2, false));
+        assert!(learned.implications().implies(f1, true, f2, false));
         assert_eq!(learned.tied_value(f1), None);
+    }
+
+    #[test]
+    fn tied_value_uses_binary_search_over_sorted_constants() {
+        let tied = vec![
+            (NodeId(9), true),
+            (NodeId(2), false),
+            (NodeId(40), true),
+            (NodeId(7), false),
+        ];
+        let learned = LearnedData::from_parts(ImplicationDb::new(), tied);
+        assert_eq!(learned.tied_value(NodeId(2)), Some(false));
+        assert_eq!(learned.tied_value(NodeId(7)), Some(false));
+        assert_eq!(learned.tied_value(NodeId(9)), Some(true));
+        assert_eq!(learned.tied_value(NodeId(40)), Some(true));
+        assert_eq!(learned.tied_value(NodeId(3)), None);
+        assert!(learned.tied().windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn adjacency_matches_db_consequents() {
+        let n = exclusive_pair();
+        let learned = learned_for(&n);
+        let adj = adjacency_for(&n, &learned);
+        assert!(!adj.is_empty());
+        assert_eq!(adj.num_edges(), 2 * learned.implications().len());
+        for (id, _) in n.iter() {
+            for value in [false, true] {
+                let mut from_db: Vec<u32> = learned
+                    .implications()
+                    .consequents(Literal::new(id, value))
+                    .map(|l| code(l.node, l.value))
+                    .collect();
+                from_db.sort_unstable();
+                assert_eq!(adj.consequents(code(id, value)), from_db.as_slice());
+            }
+        }
     }
 
     #[test]
     fn layer_hints_follow_simulated_values() {
         let n = exclusive_pair();
         let learned = learned_for(&n);
+        let adj = adjacency_for(&n, &learned);
         let f1 = n.require("f1").unwrap();
         let f2 = n.require("f2").unwrap();
         let mut frame = vec![Logic3::X; n.num_nodes()];
         frame[f1.index()] = Logic3::One;
         let good = vec![frame];
-        let layer = ImplicationLayer::build(&n, &learned, LearningMode::ForbiddenValue, &good);
+        let layer = ImplicationLayer::build(&adj, LearningMode::ForbiddenValue, &good);
         assert!(!layer.conflict);
         assert_eq!(layer.hint(0, f2), Some(false));
         assert_eq!(layer.hint(0, f1), None);
@@ -200,12 +625,13 @@ mod tests {
     fn contradicting_simulated_value_raises_conflict() {
         let n = exclusive_pair();
         let learned = learned_for(&n);
+        let adj = adjacency_for(&n, &learned);
         let f1 = n.require("f1").unwrap();
         let f2 = n.require("f2").unwrap();
         let mut frame = vec![Logic3::X; n.num_nodes()];
         frame[f1.index()] = Logic3::One;
         frame[f2.index()] = Logic3::One;
-        let layer = ImplicationLayer::build(&n, &learned, LearningMode::ForbiddenValue, &[frame]);
+        let layer = ImplicationLayer::build(&adj, LearningMode::ForbiddenValue, &[frame]);
         assert!(
             layer.conflict,
             "f1=1 and f2=1 violates the learned relation"
@@ -216,10 +642,11 @@ mod tests {
     fn none_mode_produces_no_hints() {
         let n = exclusive_pair();
         let learned = learned_for(&n);
+        let adj = adjacency_for(&n, &learned);
         let f1 = n.require("f1").unwrap();
         let mut frame = vec![Logic3::X; n.num_nodes()];
         frame[f1.index()] = Logic3::One;
-        let layer = ImplicationLayer::build(&n, &learned, LearningMode::None, &[frame]);
+        let layer = ImplicationLayer::build(&adj, LearningMode::None, &[frame]);
         assert!(layer.is_empty());
         assert!(!layer.conflict);
     }
@@ -246,16 +673,57 @@ mod tests {
             Implication::new(Literal::new(bbn, true), Literal::new(c, true)),
             true,
         );
-        let learned = LearnedData {
-            implications: db,
-            tied: Vec::new(),
-        };
+        let learned = LearnedData::from_parts(db, Vec::new());
+        let adj = adjacency_for(&n, &learned);
         let mut frame = vec![Logic3::X; n.num_nodes()];
         frame[a.index()] = Logic3::One;
         let forbidden =
-            ImplicationLayer::build(&n, &learned, LearningMode::ForbiddenValue, &[frame.clone()]);
-        let known = ImplicationLayer::build(&n, &learned, LearningMode::KnownValue, &[frame]);
+            ImplicationLayer::build(&adj, LearningMode::ForbiddenValue, &[frame.clone()]);
+        let known = ImplicationLayer::build(&adj, LearningMode::KnownValue, &[frame]);
         assert_eq!(forbidden.hint(0, c), None, "forbidden mode stays direct");
         assert_eq!(known.hint(0, c), Some(true), "known mode chases the chain");
+    }
+
+    #[test]
+    fn incremental_layer_tracks_updates_and_pops() {
+        let n = exclusive_pair();
+        let learned = learned_for(&n);
+        let adj = adjacency_for(&n, &learned);
+        let f1 = n.require("f1").unwrap();
+        let f2 = n.require("f2").unwrap();
+        let x_frame = vec![Logic3::X; n.num_nodes()];
+        let mut one_frame = x_frame.clone();
+        one_frame[f1.index()] = Logic3::One;
+
+        let mut inc = IncrementalLayer::new(&adj, LearningMode::ForbiddenValue, 1, n.num_nodes());
+        assert!(!inc.update(0, std::slice::from_ref(&x_frame), 0, None));
+        assert_eq!(inc.hint(0, f2), None);
+        assert!(!inc.update(1, std::slice::from_ref(&one_frame), 0, None));
+        assert_eq!(inc.hint(0, f2), Some(false), "f1=1 forbids f2=1");
+        inc.pop_to(1);
+        assert_eq!(inc.hint(0, f2), None, "popping retracts the hint");
+        // Re-deciding at the same level works after the pop.
+        assert!(!inc.update(1, std::slice::from_ref(&one_frame), 0, None));
+        assert_eq!(inc.hint(0, f2), Some(false));
+    }
+
+    #[test]
+    fn incremental_conflict_clears_on_pop() {
+        let n = exclusive_pair();
+        let learned = learned_for(&n);
+        let adj = adjacency_for(&n, &learned);
+        let f1 = n.require("f1").unwrap();
+        let f2 = n.require("f2").unwrap();
+        let x_frame = vec![Logic3::X; n.num_nodes()];
+        let mut bad = x_frame.clone();
+        bad[f1.index()] = Logic3::One;
+        bad[f2.index()] = Logic3::One;
+
+        let mut inc = IncrementalLayer::new(&adj, LearningMode::KnownValue, 1, n.num_nodes());
+        assert!(!inc.update(0, std::slice::from_ref(&x_frame), 0, None));
+        assert!(inc.update(1, std::slice::from_ref(&bad), 0, None));
+        assert!(inc.conflict());
+        inc.pop_to(1);
+        assert!(!inc.conflict(), "conflict belongs to the popped level");
     }
 }

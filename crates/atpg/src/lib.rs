@@ -52,7 +52,7 @@ pub mod tgen;
 
 pub use config::{AtpgConfig, LearningMode};
 pub use engine::{AtpgEngine, AtpgRun, AtpgStats, FaultStatus};
-pub use learned::LearnedData;
+pub use learned::{ImplicationLayer, IncrementalLayer, LearnedData, LiteralAdjacency};
 
 /// Result alias: errors are structural netlist errors surfaced unchanged.
 pub type Result<T> = std::result::Result<T, sla_netlist::NetlistError>;

@@ -9,11 +9,11 @@
 //! frames; objectives are found by fault excitation / D-frontier analysis and
 //! mapped to decisions by backtracing through gates and backwards through
 //! flip-flops into earlier frames. Learned implications participate through
-//! the [`ImplicationLayer`]: conflicts trigger immediate backtracks and hints
-//! bias the backtrace (paper §4).
+//! the incrementally maintained [`IncrementalLayer`]: conflicts trigger
+//! immediate backtracks and hints bias the backtrace (paper §4).
 
 use crate::config::{AtpgConfig, LearningMode};
-use crate::learned::{ImplicationLayer, LearnedData};
+use crate::learned::{IncrementalLayer, LearnedData, LiteralAdjacency};
 use crate::Result;
 use sla_netlist::levelize::{levelize, Levelization};
 use sla_netlist::{GateType, Netlist, NodeId, NodeKind};
@@ -58,21 +58,28 @@ pub struct TestGenerator<'a> {
     netlist: &'a Netlist,
     levels: Levelization,
     config: AtpgConfig,
-    learned: LearnedData,
+    /// CSR adjacency over the learned implications, built once per generator.
+    adjacency: LiteralAdjacency,
 }
 
 impl<'a> TestGenerator<'a> {
-    /// Builds a generator.
+    /// Builds a generator. The learned data is consulted only at construction
+    /// time (it is compiled into the indexed implication adjacency).
     ///
     /// # Errors
     ///
     /// Returns an error when the combinational logic cannot be levelized.
-    pub fn new(netlist: &'a Netlist, config: AtpgConfig, learned: LearnedData) -> Result<Self> {
+    pub fn new(netlist: &'a Netlist, config: AtpgConfig, learned: &LearnedData) -> Result<Self> {
+        let adjacency = if config.learning.uses_learning() {
+            LiteralAdjacency::build(learned.implications(), netlist.num_nodes())
+        } else {
+            LiteralAdjacency::default()
+        };
         Ok(TestGenerator {
             netlist,
             levels: levelize(netlist)?,
             config,
-            learned,
+            adjacency,
         })
     }
 
@@ -134,13 +141,44 @@ impl<'a> TestGenerator<'a> {
         let mut backtracks = 0usize;
         let mut decision_count = 0usize;
 
+        // Learned-implication layer, maintained incrementally: level 0 is the
+        // undecided search point, every decision opens one level, and
+        // backtracking unwinds to the unchanged prefix before the flipped
+        // decision re-opens its level. Values only *become* binary along a
+        // decision path (three-valued simulation is monotone), so each update
+        // processes the newly binary values alone.
+        let mut layer = IncrementalLayer::new(
+            &self.adjacency,
+            self.config.learning,
+            window,
+            self.netlist.num_nodes(),
+        );
+        let mut pending_level = 0usize;
+        let mut pending_frame = 0usize;
+        // Good-machine values of the previous search point, as one flat
+        // reusable buffer. On a plain decision step the previous point is the
+        // parent level, so the layer can skip value-identical frames; after a
+        // backtrack the previous point is unrelated and the snapshot is
+        // invalidated.
+        let n = self.netlist.num_nodes();
+        let mut parent_buf: Vec<Logic3> = Vec::new();
+        let mut parent_valid = false;
+
         loop {
             let (good, faulty) = self.simulate(fault, window, &assigned);
 
-            // Learned-implication layer: a contradiction is an early conflict.
-            let layer =
-                ImplicationLayer::build(self.netlist, &self.learned, self.config.learning, &good);
-            let conflict = layer.conflict;
+            // A contradiction with the learned implications is an early conflict.
+            let parent = parent_valid.then_some(parent_buf.as_slice());
+            let conflict = layer.update(pending_level, &good, pending_frame, parent);
+            // Snapshot only when the layer can actually use it (mirrors the
+            // inert condition of `IncrementalLayer::new`).
+            if self.config.learning.uses_learning() && !self.adjacency.is_empty() {
+                parent_buf.resize(window * n, Logic3::X);
+                for (f, values) in good.iter().enumerate() {
+                    parent_buf[f * n..(f + 1) * n].copy_from_slice(values);
+                }
+                parent_valid = true;
+            }
 
             if !conflict && self.detected(&good, &faulty) {
                 let seq = self.to_sequence(window, &assigned);
@@ -169,6 +207,8 @@ impl<'a> TestGenerator<'a> {
                         value,
                         flipped: false,
                     });
+                    pending_level = decisions.len();
+                    pending_frame = frame;
                 }
                 None => {
                     // Conflict or no objective/backtrace possible: backtrack.
@@ -183,6 +223,13 @@ impl<'a> TestGenerator<'a> {
                                 d.flipped = true;
                                 assigned.insert((d.frame, d.pi.0), d.value);
                                 decisions.push(d);
+                                // Keep the base level plus the unchanged
+                                // decisions before the flipped one; the flip
+                                // re-opens its level at the next update.
+                                layer.pop_to(decisions.len());
+                                pending_level = decisions.len();
+                                pending_frame = d.frame;
+                                parent_valid = false;
                                 break;
                             }
                             Some(d) => {
@@ -359,7 +406,7 @@ impl<'a> TestGenerator<'a> {
         node: NodeId,
         value: bool,
         good: &[Vec<Logic3>],
-        layer: &ImplicationLayer,
+        layer: &IncrementalLayer<'_>,
     ) -> Option<(usize, NodeId, bool)> {
         let mut budget = 4 * self.netlist.num_nodes() * (frame + 2);
         self.backtrace_dfs(frame, node, value, good, layer, &mut budget)
@@ -371,7 +418,7 @@ impl<'a> TestGenerator<'a> {
         node: NodeId,
         value: bool,
         good: &[Vec<Logic3>],
-        layer: &ImplicationLayer,
+        layer: &IncrementalLayer<'_>,
         budget: &mut usize,
     ) -> Option<(usize, NodeId, bool)> {
         if *budget == 0 {
@@ -466,7 +513,7 @@ impl<'a> TestGenerator<'a> {
         frame: usize,
         target: bool,
         good: &[Vec<Logic3>],
-        layer: &ImplicationLayer,
+        layer: &IncrementalLayer<'_>,
     ) -> Vec<NodeId> {
         let mut unknown: Vec<NodeId> = fanins
             .iter()
@@ -524,8 +571,8 @@ mod tests {
     use sla_netlist::NetlistBuilder;
     use sla_sim::FaultSimulator;
 
-    fn generator<'a>(n: &'a Netlist, config: AtpgConfig) -> TestGenerator<'a> {
-        TestGenerator::new(n, config, LearnedData::new()).unwrap()
+    fn generator(n: &Netlist, config: AtpgConfig) -> TestGenerator<'_> {
+        TestGenerator::new(n, config, &LearnedData::new()).unwrap()
     }
 
     /// Combinational circuit: z = AND(a, b).

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use sla_atpg::{AtpgConfig, AtpgEngine, LearnedData, LearningMode};
 use sla_circuits::{retimed_circuit, RetimedConfig};
 use sla_core::{LearnConfig, SequentialLearner};
-use sla_sim::collapsed_fault_list;
+use sla_sim::{collapsed_fault_list, FaultSimulator, Logic3, TestSequence};
 
 fn atpg_with_and_without_learning(c: &mut Criterion) {
     let netlist = retimed_circuit(&RetimedConfig {
@@ -57,5 +57,40 @@ fn atpg_with_and_without_learning(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, atpg_with_and_without_learning);
+/// Word-parallel fault dropping: one test sequence fault-simulated against
+/// the whole collapsed fault list (the per-test inner loop of
+/// `AtpgEngine::run`).
+fn fault_dropping(c: &mut Criterion) {
+    let netlist = retimed_circuit(&RetimedConfig {
+        master_bits: 4,
+        derived_bits: 10,
+        extra_gates: 40,
+        inputs: 4,
+        ..RetimedConfig::default()
+    });
+    let faults = collapsed_fault_list(&netlist);
+    // A deterministic pseudo-random 8-frame sequence.
+    let mut state = 0x5eed_u64;
+    let vectors: Vec<Vec<Logic3>> = (0..8)
+        .map(|_| {
+            (0..netlist.inputs().len())
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    Logic3::from_bool(state >> 33 & 1 == 1)
+                })
+                .collect()
+        })
+        .collect();
+    let sequence = TestSequence::new(vectors);
+    let sim = FaultSimulator::new(&netlist).expect("levelizes");
+
+    let mut group = c.benchmark_group("fault_dropping");
+    group.sample_size(10);
+    group.bench_function("detected_faults/retimed", |b| {
+        b.iter(|| sim.detected_faults(&faults, &sequence))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, atpg_with_and_without_learning, fault_dropping);
 criterion_main!(benches);

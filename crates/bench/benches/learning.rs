@@ -3,7 +3,7 @@
 //! stays far below ATPG time).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sla_circuits::{build_profile, profile_by_name};
+use sla_circuits::{build_profile, industrial_circuit, profile_by_name, IndustrialConfig};
 use sla_core::{LearnConfig, SequentialLearner};
 
 fn learning_scaling(c: &mut Criterion) {
@@ -24,6 +24,22 @@ fn learning_scaling(c: &mut Criterion) {
             },
         );
     }
+    group.finish();
+}
+
+/// The industrial-style generator: multiple clock domains, latches and
+/// set/reset lines — the workload of the batched-learning acceptance target.
+fn learning_industrial(c: &mut Criterion) {
+    let netlist = industrial_circuit(&IndustrialConfig::default());
+    let mut group = c.benchmark_group("sequential_learning");
+    group.sample_size(10);
+    group.bench_function("industrial", |b| {
+        b.iter(|| {
+            SequentialLearner::new(&netlist, LearnConfig::default())
+                .learn()
+                .expect("learning succeeds")
+        })
+    });
     group.finish();
 }
 
@@ -49,5 +65,10 @@ fn learning_single_vs_multi(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, learning_scaling, learning_single_vs_multi);
+criterion_group!(
+    benches,
+    learning_scaling,
+    learning_industrial,
+    learning_single_vs_multi
+);
 criterion_main!(benches);

@@ -1,0 +1,251 @@
+//! Compares two benchmark result files and prints per-bench median deltas,
+//! with an optional regression gate for CI.
+//!
+//! Usage:
+//!
+//! ```text
+//! benchdiff <baseline> <current> [--fail-above <pct>]
+//! ```
+//!
+//! Both inputs may be either the JSON-lines output written by
+//! `SLA_BENCH_JSON=<path> cargo bench -p sla-bench` (one object per line) or a
+//! committed baseline file like `BENCH_baseline.json` that wraps the same
+//! records in a `"results"` array with toolchain metadata. Records are matched
+//! by `group/bench`; benches present on only one side are listed but never
+//! fail the gate. With `--fail-above <pct>`, the process exits non-zero when
+//! any common bench's median regressed by more than `pct` percent — or when
+//! there is no common bench at all, which would make the gate vacuous.
+
+use std::process::ExitCode;
+
+/// One parsed benchmark record.
+#[derive(Debug, Clone, PartialEq)]
+struct Record {
+    group: String,
+    bench: String,
+    median_ns: f64,
+}
+
+/// Extracts the quoted string value following `"key":` in a flat JSON object.
+fn str_field(object: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\"");
+    let at = object.find(&pat)? + pat.len();
+    let rest = object[at..].trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// Extracts the numeric value following `"key":` in a flat JSON object.
+fn num_field(object: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\"");
+    let at = object.find(&pat)? + pat.len();
+    let rest = object[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses every benchmark record in `text`. Works for both supported formats
+/// because records are flat objects: each `{…}` span containing a `"group"`
+/// key is treated as one record; enclosing metadata objects have no `"group"`
+/// and are skipped.
+fn parse_records(text: &str) -> Vec<Record> {
+    let mut records = Vec::new();
+    for chunk in text.split('{').skip(1) {
+        let object = chunk.split('}').next().unwrap_or("");
+        if let (Some(group), Some(bench), Some(median_ns)) = (
+            str_field(object, "group"),
+            str_field(object, "bench"),
+            num_field(object, "median_ns"),
+        ) {
+            records.push(Record {
+                group,
+                bench,
+                median_ns,
+            });
+        }
+    }
+    records
+}
+
+fn format_ms(ns: f64) -> String {
+    format!("{:.3}", ns / 1e6)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut fail_above: Option<f64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fail-above" => {
+                let Some(pct) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    eprintln!("--fail-above requires a numeric percentage");
+                    return ExitCode::from(2);
+                };
+                fail_above = Some(pct);
+                i += 1;
+            }
+            other => paths.push(other),
+        }
+        i += 1;
+    }
+    let [baseline_path, current_path] = paths[..] else {
+        eprintln!("usage: benchdiff <baseline> <current> [--fail-above <pct>]");
+        return ExitCode::from(2);
+    };
+
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => Some(text),
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(baseline_text), Some(current_text)) = (read(baseline_path), read(current_path))
+    else {
+        return ExitCode::from(2);
+    };
+    let baseline = parse_records(&baseline_text);
+    let current = parse_records(&current_text);
+    if baseline.is_empty() || current.is_empty() {
+        eprintln!(
+            "no benchmark records parsed ({} in {baseline_path}, {} in {current_path})",
+            baseline.len(),
+            current.len()
+        );
+        return ExitCode::from(2);
+    }
+
+    println!(
+        "{:<44} {:>12} {:>12} {:>9}",
+        "bench", "base (ms)", "curr (ms)", "delta"
+    );
+    let mut worst: Option<(String, f64)> = None;
+    for base in &baseline {
+        let name = format!("{}/{}", base.group, base.bench);
+        match current
+            .iter()
+            .find(|c| c.group == base.group && c.bench == base.bench)
+        {
+            Some(curr) => {
+                let delta = (curr.median_ns - base.median_ns) / base.median_ns * 100.0;
+                println!(
+                    "{:<44} {:>12} {:>12} {:>+8.1}%",
+                    name,
+                    format_ms(base.median_ns),
+                    format_ms(curr.median_ns),
+                    delta
+                );
+                if worst.as_ref().is_none_or(|(_, w)| delta > *w) {
+                    worst = Some((name, delta));
+                }
+            }
+            None => println!(
+                "{:<44} {:>12} {:>12} {:>9}",
+                name,
+                format_ms(base.median_ns),
+                "-",
+                "missing"
+            ),
+        }
+    }
+    for curr in &current {
+        if !baseline
+            .iter()
+            .any(|b| b.group == curr.group && b.bench == curr.bench)
+        {
+            println!(
+                "{:<44} {:>12} {:>12} {:>9}",
+                format!("{}/{}", curr.group, curr.bench),
+                "-",
+                format_ms(curr.median_ns),
+                "new"
+            );
+        }
+    }
+
+    match (&worst, fail_above) {
+        (Some((name, delta)), Some(limit)) => {
+            println!("\nworst regression: {name} at {delta:+.1}%");
+            if *delta > limit {
+                eprintln!("FAIL: {name} regressed {delta:+.1}% (> {limit}%)");
+                return ExitCode::from(1);
+            }
+            println!("gate: all common benches within +{limit}%");
+        }
+        (Some((name, delta)), None) => {
+            println!("\nworst regression: {name} at {delta:+.1}%");
+        }
+        (None, Some(_)) => {
+            // A gate over an empty intersection would pass vacuously — e.g.
+            // after a bench rename — and hide real regressions.
+            eprintln!("FAIL: no common benches between baseline and current; gate is vacuous");
+            return ExitCode::from(1);
+        }
+        (None, None) => {}
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const JSONL: &str = r#"{"group": "g", "bench": "a", "samples": 10, "mean_ns": 100, "median_ns": 90, "min_ns": 80, "max_ns": 120}
+{"group": "g", "bench": "b/5", "samples": 10, "mean_ns": 2000, "median_ns": 1800, "min_ns": 1500, "max_ns": 2500}
+"#;
+
+    const WRAPPED: &str = r#"{
+  "schema": "sla-bench-baseline/v1",
+  "toolchain": "rustc",
+  "results": [
+    {
+      "group": "g",
+      "bench": "a",
+      "samples": 10,
+      "median_ns": 100
+    },
+    {
+      "group": "h",
+      "bench": "c",
+      "median_ns": 50
+    }
+  ]
+}"#;
+
+    #[test]
+    fn parses_json_lines() {
+        let records = parse_records(JSONL);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].group, "g");
+        assert_eq!(records[0].bench, "a");
+        assert_eq!(records[0].median_ns, 90.0);
+        assert_eq!(records[1].bench, "b/5");
+        assert_eq!(records[1].median_ns, 1800.0);
+    }
+
+    #[test]
+    fn parses_wrapped_baseline() {
+        let records = parse_records(WRAPPED);
+        assert_eq!(records.len(), 2, "metadata object must not parse");
+        assert_eq!(records[0].median_ns, 100.0);
+        assert_eq!(records[1].group, "h");
+    }
+
+    #[test]
+    fn field_extractors_handle_spacing() {
+        let obj = r#""group" : "x",  "median_ns" :  12.5e3"#;
+        assert_eq!(str_field(obj, "group").as_deref(), Some("x"));
+        assert_eq!(num_field(obj, "median_ns"), Some(12.5e3));
+    }
+
+    #[test]
+    fn missing_fields_yield_none() {
+        assert_eq!(str_field("\"a\": 1", "b"), None);
+        assert_eq!(num_field("\"a\": \"str\"", "a"), None);
+    }
+}

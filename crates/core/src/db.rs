@@ -2,8 +2,8 @@
 //! closure, deduplication and per-kind counting.
 
 use crate::relation::{Implication, Literal, RelationKind};
-use sla_netlist::{Netlist, NodeId};
-use std::collections::{BTreeSet, HashMap};
+use sla_netlist::{FastHashMap, Netlist, NodeId};
+use std::collections::BTreeSet;
 
 /// Stores learned same-frame implications.
 ///
@@ -15,9 +15,19 @@ use std::collections::{BTreeSet, HashMap};
 #[derive(Debug, Clone, Default)]
 pub struct ImplicationDb {
     /// antecedent -> set of consequents (directed edges, closed under contrapositive).
-    forward: HashMap<Literal, BTreeSet<Literal>>,
+    forward: FastHashMap<Literal, BTreeSet<Literal>>,
     /// Canonical relation list in insertion order, with the sequential flag.
     canonical: Vec<(Implication, bool)>,
+    /// Position of each relation in `canonical`, keyed by the orientation-
+    /// independent form (the smaller of relation and contrapositive), so
+    /// duplicate insertions and flag downgrades are O(1) instead of a scan.
+    index: FastHashMap<Implication, usize>,
+}
+
+/// Orientation-independent key of a relation: a relation and its
+/// contrapositive are one logical fact.
+fn canonical_key(imp: &Implication) -> Implication {
+    imp.contrapositive().min(*imp)
 }
 
 impl ImplicationDb {
@@ -40,16 +50,10 @@ impl ImplicationDb {
         if imp.antecedent.node == imp.consequent.node {
             return false;
         }
-        if self.contains(&imp) {
+        if let Some(&at) = self.index.get(&canonical_key(&imp)) {
             if !sequential {
                 // Downgrade an existing sequential derivation to combinational.
-                if let Some(entry) = self
-                    .canonical
-                    .iter_mut()
-                    .find(|(c, _)| *c == imp || *c == imp.contrapositive())
-                {
-                    entry.1 = false;
-                }
+                self.canonical[at].1 = false;
             }
             return false;
         }
@@ -62,6 +66,7 @@ impl ImplicationDb {
             .entry(contra.antecedent)
             .or_default()
             .insert(contra.consequent);
+        self.index.insert(canonical_key(&imp), self.canonical.len());
         self.canonical.push((imp, sequential));
         true
     }
@@ -148,10 +153,9 @@ impl ImplicationDb {
                 .map(|(k, v)| (*k, v.iter().copied().collect()))
                 .collect();
             let seq_of = |imp: &Implication, this: &ImplicationDb| -> bool {
-                this.canonical
-                    .iter()
-                    .find(|(c, _)| c == imp || *c == imp.contrapositive())
-                    .map(|(_, s)| *s)
+                this.index
+                    .get(&canonical_key(imp))
+                    .map(|&at| this.canonical[at].1)
                     .unwrap_or(true)
             };
             for (a, consequents) in &snapshot {

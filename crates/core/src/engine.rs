@@ -175,8 +175,9 @@ impl<'a> SequentialLearner<'a> {
                 })
                 .collect();
 
-            // Phase 1: single-node learning.
-            let single = single_node::run(
+            // Phase 1: single-node learning, 32 stems (64 lanes) per packed
+            // forward pass.
+            let single = single_node::run_batched(
                 &sim,
                 &class_stems,
                 &options,
@@ -195,7 +196,7 @@ impl<'a> SequentialLearner<'a> {
             sim.set_tied(tied.values().map(|t| (t.node, t.value)).collect());
 
             if self.config.multiple_node {
-                let multi = multi_node::run(
+                let multi = multi_node::run_batched(
                     &mut sim,
                     &single.support,
                     &options,

@@ -12,8 +12,8 @@
 use crate::relation::{CrossImplication, Implication, Literal};
 use crate::single_node::{keep_relation, SupportMap};
 use crate::tie::{TieKind, TiedGate};
-use sla_netlist::NodeId;
-use sla_sim::{Injection, InjectionSim, SimOptions};
+use sla_netlist::{Netlist, NodeId};
+use sla_sim::{Injection, InjectionSim, SimOptions, TraceRead};
 use std::collections::HashMap;
 
 /// Everything learned by a multiple-node pass.
@@ -69,28 +69,14 @@ fn prepare_target(node: NodeId, produced: bool, entries: &[(NodeId, bool, usize)
     }
 }
 
-/// Runs multiple-node learning over the support map.
-///
-/// The simulator must already carry the equivalences, tied constants and
-/// active-class mask of the enclosing learning pass; ties discovered here are
-/// added to it on the fly so later targets benefit (this is what lets the
-/// `G15` example of the paper be proven tied).
-#[allow(clippy::too_many_arguments)]
-pub fn run(
-    sim: &mut InjectionSim<'_>,
-    support: &SupportMap,
-    options: &SimOptions,
-    class_mask: Option<&[bool]>,
-    max_targets: usize,
-    learn_cross_frame: bool,
-) -> MultiNodeOutcome {
-    let netlist = sim.netlist();
-    let mut outcome = MultiNodeOutcome::default();
+/// One entry of the sorted target list: the `(node, value)` key and its
+/// support entries.
+type TargetEntry<'a> = (&'a (NodeId, bool), &'a Vec<(NodeId, bool, usize)>);
 
-    // Deterministic target order: most-supported first (they yield the most
-    // relations), ties broken by node id and value.
-    type TargetEntry<'a> = (&'a (NodeId, bool), &'a Vec<(NodeId, bool, usize)>);
-    let mut targets: Vec<TargetEntry<'_>> = support
+/// Sorted, truncated learning-target order: most-supported first (they yield
+/// the most relations), ties broken by node id and value.
+fn sorted_targets(support: &SupportMap, max_targets: usize) -> Vec<TargetEntry<'_>> {
+    let mut targets: Vec<_> = support
         .iter()
         .filter(|(_, entries)| entries.len() >= 2)
         .collect();
@@ -103,8 +89,90 @@ pub fn run(
     if max_targets > 0 {
         targets.truncate(max_targets);
     }
+    targets
+}
 
-    for (&(node, produced), entries) in targets {
+/// Harvests the relations of one conflict-free target trace into `outcome`.
+#[allow(clippy::too_many_arguments)]
+fn harvest_target<T: TraceRead>(
+    netlist: &Netlist,
+    node: NodeId,
+    produced: bool,
+    target: &Target,
+    trace: &T,
+    class_mask: Option<&[bool]>,
+    learn_cross_frame: bool,
+    outcome: &mut MultiNodeOutcome,
+) {
+    let hypothesis = Literal::new(node, !produced);
+    let sequential = target.horizon > 0;
+    if trace.num_frames() > target.horizon {
+        for (other, value) in trace.binary_assignments(target.horizon) {
+            if other == node {
+                continue;
+            }
+            if !keep_relation(netlist, class_mask, node, other) {
+                continue;
+            }
+            outcome.implications.push((
+                Implication::new(hypothesis, Literal::new(other, value)),
+                sequential,
+            ));
+        }
+        if learn_cross_frame {
+            for t in 0..target.horizon {
+                for (other, value) in trace.binary_assignments(t) {
+                    if other == node || netlist.node(other).is_input() {
+                        continue;
+                    }
+                    outcome.cross_frame.push(CrossImplication {
+                        antecedent: hypothesis,
+                        consequent: Literal::new(other, value),
+                        offset: t as i32 - target.horizon as i32,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Registers a proven tie with the outcome and the simulator so later targets
+/// benefit.
+fn record_tie(
+    sim: &mut InjectionSim<'_>,
+    outcome: &mut MultiNodeOutcome,
+    node: NodeId,
+    produced: bool,
+    horizon: usize,
+) {
+    let tie = TiedGate::new(node, produced, tie_kind(horizon));
+    sim.add_tied(node, produced);
+    outcome.ties.push(tie);
+}
+
+/// Runs multiple-node learning over the support map.
+///
+/// The simulator must already carry the equivalences, tied constants and
+/// active-class mask of the enclosing learning pass; ties discovered here are
+/// added to it on the fly so later targets benefit (this is what lets the
+/// `G15` example of the paper be proven tied).
+///
+/// This is the scalar reference path — one forward simulation per target. The
+/// learning engine uses [`run_batched`], which produces the same outcome from
+/// packed 64-lane passes; property tests assert the equality.
+#[allow(clippy::too_many_arguments)]
+pub fn run(
+    sim: &mut InjectionSim<'_>,
+    support: &SupportMap,
+    options: &SimOptions,
+    class_mask: Option<&[bool]>,
+    max_targets: usize,
+    learn_cross_frame: bool,
+) -> MultiNodeOutcome {
+    let netlist = sim.netlist();
+    let mut outcome = MultiNodeOutcome::default();
+
+    for (&(node, produced), entries) in sorted_targets(support, max_targets) {
         if netlist.node(node).is_input() {
             continue;
         }
@@ -115,9 +183,7 @@ pub fn run(
         outcome.targets_processed += 1;
 
         if target.contradictory {
-            let tie = TiedGate::new(node, produced, tie_kind(target.horizon));
-            sim.add_tied(node, produced);
-            outcome.ties.push(tie);
+            record_tie(sim, &mut outcome, node, produced, target.horizon);
             continue;
         }
 
@@ -130,42 +196,137 @@ pub fn run(
 
         if trace.conflict.is_some() {
             // The hypothesis `node = !produced` is impossible: tied to `produced`.
-            let tie = TiedGate::new(node, produced, tie_kind(target.horizon));
-            sim.add_tied(node, produced);
-            outcome.ties.push(tie);
+            record_tie(sim, &mut outcome, node, produced, target.horizon);
             continue;
         }
 
-        let hypothesis = Literal::new(node, !produced);
-        let sequential = target.horizon > 0;
-        if trace.num_frames() > target.horizon {
-            for (other, value) in trace.assignments(target.horizon) {
-                if other == node {
-                    continue;
-                }
-                if !keep_relation(netlist, class_mask, node, other) {
-                    continue;
-                }
-                outcome.implications.push((
-                    Implication::new(hypothesis, Literal::new(other, value)),
-                    sequential,
-                ));
-            }
-            if learn_cross_frame {
-                for t in 0..target.horizon {
-                    for (other, value) in trace.assignments(t) {
-                        if other == node || netlist.node(other).is_input() {
-                            continue;
-                        }
-                        outcome.cross_frame.push(CrossImplication {
-                            antecedent: hypothesis,
-                            consequent: Literal::new(other, value),
-                            offset: t as i32 - target.horizon as i32,
-                        });
-                    }
-                }
-            }
+        harvest_target(
+            netlist,
+            node,
+            produced,
+            &target,
+            &trace,
+            class_mask,
+            learn_cross_frame,
+            &mut outcome,
+        );
+    }
+    outcome
+}
+
+/// Runs multiple-node learning over the support map with up to 64 targets per
+/// packed forward pass. Produces exactly the same outcome as [`run`].
+///
+/// Targets are batched under the tied-constant state current at batch start.
+/// Serial semantics require a tie discovered at target *k* to influence every
+/// target after *k*, so when a batch lane conflicts (a new tie), the lanes up
+/// to and including the first conflict are harvested — they only depended on
+/// the unchanged prefix state — the tie is registered, and batching restarts
+/// at the next target under the updated state.
+#[allow(clippy::too_many_arguments)]
+pub fn run_batched(
+    sim: &mut InjectionSim<'_>,
+    support: &SupportMap,
+    options: &SimOptions,
+    class_mask: Option<&[bool]>,
+    max_targets: usize,
+    learn_cross_frame: bool,
+) -> MultiNodeOutcome {
+    let netlist = sim.netlist();
+    let mut outcome = MultiNodeOutcome::default();
+    let targets = sorted_targets(support, max_targets);
+    // Targets are prepared on first need and memoized — preparation only
+    // depends on the support entries, not on the evolving tied state, so
+    // batch restarts never redo the work, and targets skipped as already
+    // tied are never prepared at all.
+    let mut prepared: Vec<Option<Target>> = (0..targets.len()).map(|_| None).collect();
+    let prepare = |prepared: &mut Vec<Option<Target>>, at: usize| {
+        if prepared[at].is_none() {
+            let (&(node, produced), entries) = targets[at];
+            prepared[at] = Some(prepare_target(node, produced, entries));
         }
+    };
+
+    let mut i = 0;
+    'outer: while i < targets.len() {
+        let &(node, produced) = targets[i].0;
+        if netlist.node(node).is_input() {
+            i += 1;
+            continue;
+        }
+        if sim.tied().iter().any(|&(n, _)| n == node) {
+            i += 1;
+            continue;
+        }
+        prepare(&mut prepared, i);
+        let first = prepared[i].as_ref().expect("just prepared");
+        if first.contradictory {
+            outcome.targets_processed += 1;
+            let horizon = first.horizon;
+            record_tie(sim, &mut outcome, node, produced, horizon);
+            i += 1;
+            continue;
+        }
+
+        // Gather a batch of simulatable targets. A contradictory target is a
+        // batch boundary: its tie mutates the state every later target sees.
+        let mut batch: Vec<(usize, NodeId, bool)> = vec![(i, node, produced)];
+        let mut j = i + 1;
+        while j < targets.len() && batch.len() < 64 {
+            let &(n2, p2) = targets[j].0;
+            if netlist.node(n2).is_input() || sim.tied().iter().any(|&(n, _)| n == n2) {
+                j += 1;
+                continue;
+            }
+            prepare(&mut prepared, j);
+            if prepared[j].as_ref().expect("just prepared").contradictory {
+                break;
+            }
+            batch.push((j, n2, p2));
+            j += 1;
+        }
+
+        let lanes: Vec<&Target> = batch
+            .iter()
+            .map(|&(at, _, _)| prepared[at].as_ref().expect("batch lanes are prepared"))
+            .collect();
+        let run_options = SimOptions {
+            max_frames: lanes
+                .iter()
+                .map(|t| t.horizon + 1)
+                .max()
+                .expect("non-empty batch"),
+            stop_on_repeat: false,
+            respect_seq_rules: options.respect_seq_rules,
+        };
+        let jobs: Vec<&[Injection]> = lanes.iter().map(|t| t.injections.as_slice()).collect();
+        let limits: Vec<usize> = lanes.iter().map(|t| t.horizon + 1).collect();
+        let traces = sim.run_batch_with_limits_packed(&jobs, &run_options, &limits);
+
+        for (k, &(ti, n2, p2)) in batch.iter().enumerate() {
+            let trace = traces.lane(k);
+            let target = prepared[ti].as_ref().expect("batch lanes are prepared");
+            outcome.targets_processed += 1;
+            if trace.conflict().is_some() {
+                // New tie: later lanes of this batch would have seen it in the
+                // serial order — re-run them under the updated state.
+                let horizon = target.horizon;
+                record_tie(sim, &mut outcome, n2, p2, horizon);
+                i = ti + 1;
+                continue 'outer;
+            }
+            harvest_target(
+                netlist,
+                n2,
+                p2,
+                target,
+                &trace,
+                class_mask,
+                learn_cross_frame,
+                &mut outcome,
+            );
+        }
+        i = j;
     }
     outcome
 }
@@ -324,6 +485,37 @@ mod tests {
             .implications
             .iter()
             .all(|(imp, _)| imp.antecedent.node != g9));
+    }
+
+    #[test]
+    fn batched_run_matches_scalar_run() {
+        for netlist in [figure2_core(), {
+            // The tie-conflict circuit exercises the batch-restart path.
+            let mut b = NetlistBuilder::new("tieconflict");
+            b.input("a");
+            b.input("b");
+            b.gate("x", GateType::Not, &["a"]).unwrap();
+            b.gate("y", GateType::Not, &["b"]).unwrap();
+            b.gate("z", GateType::And, &["a", "b"]).unwrap();
+            b.gate("g", GateType::Or, &["x", "y", "z"]).unwrap();
+            b.dff("f", "g").unwrap();
+            b.output("f").unwrap();
+            b.build().unwrap()
+        }] {
+            let stems = sla_netlist::stems::fanout_stems(&netlist);
+            let options = SimOptions::default();
+            let base = InjectionSim::new(&netlist).unwrap();
+            let single = single_node::run(&base, &stems, &options, None, false);
+            let mut scalar_sim = InjectionSim::new(&netlist).unwrap();
+            let scalar = run(&mut scalar_sim, &single.support, &options, None, 0, true);
+            let mut batched_sim = InjectionSim::new(&netlist).unwrap();
+            let batched = run_batched(&mut batched_sim, &single.support, &options, None, 0, true);
+            assert_eq!(scalar.implications, batched.implications);
+            assert_eq!(scalar.ties, batched.ties);
+            assert_eq!(scalar.cross_frame, batched.cross_frame);
+            assert_eq!(scalar.targets_processed, batched.targets_processed);
+            assert_eq!(scalar_sim.tied(), batched_sim.tied());
+        }
     }
 
     #[test]

@@ -11,14 +11,13 @@
 
 use crate::relation::{CrossImplication, Implication, Literal};
 use crate::tie::{TieKind, TiedGate};
-use sla_netlist::{Netlist, NodeId};
-use sla_sim::{Injection, InjectionSim, Logic3, SimOptions, Trace};
-use std::collections::HashMap;
+use sla_netlist::{FastHashMap, Netlist, NodeId};
+use sla_sim::{Injection, InjectionSim, Logic3, SimOptions, Trace, TraceRead};
 
 /// For every `(node, value)`: the list of `(stem, stem_value, frame)` stem
 /// assignments whose forward simulation sets the node to that value at that
 /// frame offset.
-pub type SupportMap = HashMap<(NodeId, bool), Vec<(NodeId, bool, usize)>>;
+pub type SupportMap = FastHashMap<(NodeId, bool), Vec<(NodeId, bool, usize)>>;
 
 /// Decides whether a relation between two endpoints is worth keeping.
 ///
@@ -68,19 +67,99 @@ pub fn simulate_stem(sim: &InjectionSim<'_>, stem: NodeId, options: &SimOptions)
     (t0, t1)
 }
 
+/// How many stems fit into one packed forward pass (two polarities per stem,
+/// 64 lanes per [`sla_sim::PackedWord`]).
+pub const STEMS_PER_BATCH: usize = 32;
+
+/// Simulates both polarities of up to [`STEMS_PER_BATCH`] stems in a single
+/// packed forward pass; entry *i* of the result is identical to
+/// `simulate_stem(sim, stems[i], options)`.
+pub fn simulate_stem_batch(
+    sim: &InjectionSim<'_>,
+    stems: &[NodeId],
+    options: &SimOptions,
+) -> Vec<(Trace, Trace)> {
+    let packed = simulate_stem_batch_packed(sim, stems, options);
+    (0..stems.len())
+        .map(|i| (packed.to_trace(2 * i), packed.to_trace(2 * i + 1)))
+        .collect()
+}
+
+/// Packed form of [`simulate_stem_batch`]: lane `2i` carries stem `i` injected
+/// at 0, lane `2i + 1` at 1. The result is read in place via
+/// [`sla_sim::PackedTraces::lane`].
+pub fn simulate_stem_batch_packed(
+    sim: &InjectionSim<'_>,
+    stems: &[NodeId],
+    options: &SimOptions,
+) -> sla_sim::PackedTraces {
+    assert!(stems.len() <= STEMS_PER_BATCH);
+    let injections: Vec<[Injection; 1]> = stems
+        .iter()
+        .flat_map(|&stem| {
+            [
+                [Injection::new(stem, false, 0)],
+                [Injection::new(stem, true, 0)],
+            ]
+        })
+        .collect();
+    let jobs: Vec<&[Injection]> = injections.iter().map(|j| j.as_slice()).collect();
+    sim.run_batch_packed(&jobs, options)
+}
+
+/// Marks frames whose `(trace0, trace1)` value pair exactly repeats an
+/// earlier frame pair. A repeated pair derives exactly the relations and tie
+/// candidates of its first occurrence, so extraction skips it — sequential
+/// state oscillation otherwise re-derives the same facts dozens of times.
+///
+/// Skipping preserves the extracted set: a duplicate of frame 0 would only
+/// re-derive frame-0 facts with the weaker "sequential" flag, which the
+/// database ignores in favour of the combinational derivation anyway.
+fn repeated_frame_pairs<T: TraceRead>(trace0: &T, trace1: &T, frames: usize) -> Vec<bool> {
+    // O(frames × nodes) fingerprint prefilter; the exact frame comparison
+    // only runs on fingerprint matches, so the all-pairs worst case is
+    // reserved for traces that really do repeat.
+    let fp: Vec<(u64, u64)> = (0..frames)
+        .map(|t| (trace0.frame_fingerprint(t), trace1.frame_fingerprint(t)))
+        .collect();
+    (0..frames)
+        .map(|t| {
+            (0..t).any(|earlier| {
+                fp[earlier] == fp[t]
+                    && trace0.frames_equal(t, earlier)
+                    && trace1.frames_equal(t, earlier)
+            })
+        })
+        .collect()
+}
+
 /// Extracts tied gates from the two traces of a stem: a node holding the same
 /// binary value at the same frame under both polarities can only ever hold
 /// that value (combinational tie at frame 0, sequential tie otherwise).
-pub fn extract_ties(
+pub fn extract_ties<T: TraceRead>(
     netlist: &Netlist,
     stem: NodeId,
-    trace0: &Trace,
-    trace1: &Trace,
+    trace0: &T,
+    trace1: &T,
+) -> Vec<TiedGate> {
+    let frames = trace0.num_frames().min(trace1.num_frames());
+    let repeated = repeated_frame_pairs(trace0, trace1, frames);
+    extract_ties_skipping(netlist, stem, trace0, trace1, &repeated)
+}
+
+/// [`extract_ties`] with a precomputed repeated-frame mask, so one mask can
+/// serve both tie and relation extraction of a stem.
+fn extract_ties_skipping<T: TraceRead>(
+    netlist: &Netlist,
+    stem: NodeId,
+    trace0: &T,
+    trace1: &T,
+    repeated: &[bool],
 ) -> Vec<TiedGate> {
     let mut ties: Vec<TiedGate> = Vec::new();
-    let frames = trace0.num_frames().min(trace1.num_frames());
-    for t in 0..frames {
-        for (node, value) in trace0.assignments(t) {
+    let frames = repeated.len();
+    for t in (0..frames).filter(|&t| !repeated[t]) {
+        for (node, value) in trace0.binary_assignments(t) {
             if node == stem || netlist.node(node).is_input() {
                 continue;
             }
@@ -103,77 +182,229 @@ pub fn extract_ties(
     ties
 }
 
-/// Extracts same-frame relations by pairing the assignments of the two traces
-/// at equal frames (contrapositive law), restricted by `keep_relation`.
-pub fn extract_relations(
-    netlist: &Netlist,
-    stem: NodeId,
-    trace0: &Trace,
-    trace1: &Trace,
-    class_mask: Option<&[bool]>,
-) -> Vec<(Implication, bool)> {
-    let mut out = Vec::new();
-    let frames = trace0.num_frames().min(trace1.num_frames());
-    for t in 0..frames {
-        let a0: Vec<(NodeId, bool)> = trace0.assignments(t).collect();
-        let a1: Vec<(NodeId, bool)> = trace1.assignments(t).collect();
-        // Keep the pair loop tractable: a relation must involve at least one
-        // sequential element, so pair "sequential assignments of one trace"
-        // against "all assignments of the other".
-        let seq0: Vec<(NodeId, bool)> = a0
-            .iter()
-            .copied()
-            .filter(|(n, _)| netlist.node(*n).is_sequential())
-            .collect();
-        let seq1: Vec<(NodeId, bool)> = a1
-            .iter()
-            .copied()
-            .filter(|(n, _)| netlist.node(*n).is_sequential())
-            .collect();
-        let sequential = t > 0;
-        let mut push = |g1: NodeId, v1: bool, g2: NodeId, v2: bool| {
-            if g1 == g2 || g1 == stem && g2 == stem {
-                return;
-            }
-            if !keep_relation(netlist, class_mask, g1, g2) {
-                return;
-            }
-            // trace0 carries s=0, trace1 carries s=1:
-            //   g1 = !v1  =>  s = 1  =>  g2 = v2.
-            out.push((
-                Implication::new(Literal::new(g1, !v1), Literal::new(g2, v2)),
-                sequential,
-            ));
-        };
-        for &(g1, v1) in &a0 {
-            for &(g2, v2) in &seq1 {
-                push(g1, v1, g2, v2);
-            }
-        }
-        for &(g1, v1) in &seq0 {
-            for &(g2, v2) in &a1 {
-                if netlist.node(g2).is_sequential() {
-                    continue; // already covered above
+/// Per-node endpoint role, precomputed so the quadratic pair loop of
+/// [`extract_relations`] does two array loads per pair instead of node and
+/// mask lookups (the role is the compiled form of [`keep_relation`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    /// Primary input or masked-out sequential element: never an endpoint.
+    Excluded,
+    /// Combinational gate: kept when paired with a sequential element.
+    Gate,
+    /// Sequential element of the active class.
+    Seq,
+}
+
+fn endpoint_roles(netlist: &Netlist, class_mask: Option<&[bool]>) -> Vec<Role> {
+    netlist
+        .iter()
+        .map(|(id, node)| {
+            if node.is_input() {
+                Role::Excluded
+            } else if node.is_sequential() {
+                match class_mask {
+                    Some(mask) if !mask[id.index()] => Role::Excluded,
+                    _ => Role::Seq,
                 }
-                push(g1, v1, g2, v2);
+            } else {
+                Role::Gate
+            }
+        })
+        .collect()
+}
+
+/// Exact-duplicate filter for the relation pair stream of one learning pass.
+///
+/// The quadratic pair loops re-derive the same `(antecedent, consequent)` pair
+/// across frames and stems thousands of times; the filter drops a pair whose
+/// insertion into [`crate::ImplicationDb`] would provably be a no-op, before
+/// it is materialized. The database result is unchanged: a pair is suppressed
+/// only when the same pair was already emitted with an equal-or-stronger flag
+/// (a combinational re-derivation of a pair so far only seen sequentially is
+/// still emitted — it downgrades the stored flag).
+#[derive(Debug)]
+pub enum PairFilter {
+    /// Dense pair bitset — O(1) with no hashing; `literals²` bits of memory,
+    /// used up to mid-size netlists.
+    Bits {
+        /// Bit per directed `(literal, literal)` pair emitted with `seq = true`.
+        seen_seq: Vec<u64>,
+        /// Same, for `seq = false` emissions.
+        seen_comb: Vec<u64>,
+        /// Number of literal codes (2 × nodes).
+        literals: usize,
+    },
+    /// Sparse fallback for large netlists: packed pair code → flag byte
+    /// (bit 0 = emitted combinational, bit 1 = emitted sequential).
+    Sparse(sla_netlist::FastHashMap<u64, u8>),
+}
+
+impl PairFilter {
+    /// Dense up to this many nodes (bitsets ≤ 2 × 8 MiB), sparse beyond.
+    const DENSE_NODE_LIMIT: usize = 4096;
+
+    fn for_netlist(netlist: &Netlist) -> PairFilter {
+        let n = netlist.num_nodes();
+        if n <= PairFilter::DENSE_NODE_LIMIT {
+            let literals = 2 * n;
+            let words = (literals * literals).div_ceil(64);
+            PairFilter::Bits {
+                seen_seq: vec![0; words],
+                seen_comb: vec![0; words],
+                literals,
+            }
+        } else {
+            PairFilter::Sparse(sla_netlist::FastHashMap::default())
+        }
+    }
+
+    /// Returns `true` when the pair must still be emitted: it is new, or it
+    /// downgrades a sequential-only pair to combinational.
+    #[inline]
+    fn admit(&mut self, g1: NodeId, v1: bool, g2: NodeId, v2: bool, sequential: bool) -> bool {
+        let a = (g1.0 as u64) * 2 + v1 as u64;
+        let c = (g2.0 as u64) * 2 + v2 as u64;
+        match self {
+            PairFilter::Bits {
+                seen_seq,
+                seen_comb,
+                literals,
+            } => {
+                let bit = a as usize * *literals + c as usize;
+                let (word, mask) = (bit / 64, 1u64 << (bit % 64));
+                if sequential {
+                    if (seen_seq[word] | seen_comb[word]) & mask != 0 {
+                        return false;
+                    }
+                    seen_seq[word] |= mask;
+                } else {
+                    if seen_comb[word] & mask != 0 {
+                        return false;
+                    }
+                    seen_comb[word] |= mask;
+                }
+                true
+            }
+            PairFilter::Sparse(seen) => {
+                let flags = seen.entry((a << 32) | c).or_insert(0);
+                let wanted: u8 = if sequential { 0b11 } else { 0b01 };
+                if *flags & wanted != 0 {
+                    return false;
+                }
+                *flags |= if sequential { 0b10 } else { 0b01 };
+                true
             }
         }
     }
+}
+
+/// Extracts same-frame relations by pairing the assignments of the two traces
+/// at equal frames (contrapositive law), restricted by `keep_relation`.
+pub fn extract_relations<T: TraceRead>(
+    netlist: &Netlist,
+    stem: NodeId,
+    trace0: &T,
+    trace1: &T,
+    class_mask: Option<&[bool]>,
+) -> Vec<(Implication, bool)> {
+    let mut out = Vec::new();
+    let mut filter = PairFilter::for_netlist(netlist);
+    let roles = endpoint_roles(netlist, class_mask);
+    let frames = trace0.num_frames().min(trace1.num_frames());
+    let repeated = repeated_frame_pairs(trace0, trace1, frames);
+    extract_relations_into(
+        stem,
+        trace0,
+        trace1,
+        &repeated,
+        &roles,
+        &mut filter,
+        &mut out,
+    );
     out
+}
+
+/// [`extract_relations`] with caller-owned per-pass state: the duplicate
+/// filter and endpoint roles span every stem of a learning pass, and the
+/// repeated-frame mask is shared with tie extraction.
+fn extract_relations_into<T: TraceRead>(
+    stem: NodeId,
+    trace0: &T,
+    trace1: &T,
+    repeated: &[bool],
+    roles: &[Role],
+    filter: &mut PairFilter,
+    out: &mut Vec<(Implication, bool)>,
+) {
+    let _ = stem;
+    let frames = repeated.len();
+    for t in (0..frames).filter(|&t| !repeated[t]) {
+        // Keep the pair loop tractable: a relation must involve at least one
+        // sequential element, so pair "sequential assignments of one trace"
+        // against "all kept assignments of the other". The roles make every
+        // pairing below pass `keep_relation` by construction.
+        let kept0: Vec<(NodeId, bool)> = trace0
+            .binary_assignments(t)
+            .filter(|(n, _)| roles[n.index()] != Role::Excluded)
+            .collect();
+        let kept1: Vec<(NodeId, bool)> = trace1
+            .binary_assignments(t)
+            .filter(|(n, _)| roles[n.index()] != Role::Excluded)
+            .collect();
+        let seq0: Vec<(NodeId, bool)> = kept0
+            .iter()
+            .copied()
+            .filter(|(n, _)| roles[n.index()] == Role::Seq)
+            .collect();
+        let seq1: Vec<(NodeId, bool)> = kept1
+            .iter()
+            .copied()
+            .filter(|(n, _)| roles[n.index()] == Role::Seq)
+            .collect();
+        let sequential = t > 0;
+        // trace0 carries s=0, trace1 carries s=1:
+        //   g1 = !v1  =>  s = 1  =>  g2 = v2.
+        for &(g1, v1) in &kept0 {
+            for &(g2, v2) in &seq1 {
+                if g1 == g2 {
+                    continue;
+                }
+                if filter.admit(g1, !v1, g2, v2, sequential) {
+                    out.push((
+                        Implication::new(Literal::new(g1, !v1), Literal::new(g2, v2)),
+                        sequential,
+                    ));
+                }
+            }
+        }
+        for &(g1, v1) in &seq0 {
+            for &(g2, v2) in &kept1 {
+                if roles[g2.index()] == Role::Seq {
+                    continue; // already covered above
+                }
+                if filter.admit(g1, !v1, g2, v2, sequential) {
+                    out.push((
+                        Implication::new(Literal::new(g1, !v1), Literal::new(g2, v2)),
+                        sequential,
+                    ));
+                }
+            }
+        }
+    }
 }
 
 /// Extracts cross-frame relations directly from one trace: `stem=value @ 0`
 /// implies every recorded assignment at its frame, so the contrapositive links
 /// the assignment back to the stem across `frame` time frames.
-pub fn extract_cross_frame(
+pub fn extract_cross_frame<T: TraceRead>(
     netlist: &Netlist,
     stem: NodeId,
     value: bool,
-    trace: &Trace,
+    trace: &T,
 ) -> Vec<CrossImplication> {
     let mut out = Vec::new();
     for t in 1..trace.num_frames() {
-        for (node, v) in trace.assignments(t) {
+        for (node, v) in trace.binary_assignments(t) {
             if node == stem || netlist.node(node).is_input() {
                 continue;
             }
@@ -188,15 +419,15 @@ pub fn extract_cross_frame(
 }
 
 /// Adds the assignments of one stem trace to the support map.
-pub fn accumulate_support(
+pub fn accumulate_support<T: TraceRead>(
     netlist: &Netlist,
     stem: NodeId,
     value: bool,
-    trace: &Trace,
+    trace: &T,
     support: &mut SupportMap,
 ) {
     for t in 0..trace.num_frames() {
-        for (node, v) in trace.assignments(t) {
+        for (node, v) in trace.binary_assignments(t) {
             if node == stem || netlist.node(node).is_input() {
                 continue;
             }
@@ -205,9 +436,53 @@ pub fn accumulate_support(
     }
 }
 
+/// Extracts everything single-node learning derives from the two polarity
+/// traces of one stem and adds it to `outcome`.
+#[allow(clippy::too_many_arguments)]
+fn harvest_stem<T: TraceRead>(
+    netlist: &Netlist,
+    stem: NodeId,
+    t0: &T,
+    t1: &T,
+    roles: &[Role],
+    learn_cross_frame: bool,
+    filter: &mut PairFilter,
+    outcome: &mut SingleNodeOutcome,
+) {
+    let frames = t0.num_frames().min(t1.num_frames());
+    let repeated = repeated_frame_pairs(t0, t1, frames);
+    outcome
+        .ties
+        .extend(extract_ties_skipping(netlist, stem, t0, t1, &repeated));
+    extract_relations_into(
+        stem,
+        t0,
+        t1,
+        &repeated,
+        roles,
+        filter,
+        &mut outcome.implications,
+    );
+    if learn_cross_frame {
+        outcome
+            .cross_frame
+            .extend(extract_cross_frame(netlist, stem, false, t0));
+        outcome
+            .cross_frame
+            .extend(extract_cross_frame(netlist, stem, true, t1));
+    }
+    accumulate_support(netlist, stem, false, t0, &mut outcome.support);
+    accumulate_support(netlist, stem, true, t1, &mut outcome.support);
+    outcome.stems_processed += 1;
+}
+
 /// Runs single-node learning over `stems` using an already configured
 /// simulator (equivalences, tied constants and the active clock class are
 /// taken from the simulator state).
+///
+/// This is the scalar reference path — one forward simulation per stem
+/// polarity. The learning engine uses [`run_batched`], which produces the same
+/// outcome from packed 64-lane passes; property tests assert the equality.
 pub fn run(
     sim: &InjectionSim<'_>,
     stems: &[NodeId],
@@ -217,23 +492,54 @@ pub fn run(
 ) -> SingleNodeOutcome {
     let netlist = sim.netlist();
     let mut outcome = SingleNodeOutcome::default();
+    let mut filter = PairFilter::for_netlist(netlist);
+    let roles = endpoint_roles(netlist, class_mask);
     for &stem in stems {
         let (t0, t1) = simulate_stem(sim, stem, options);
-        outcome.ties.extend(extract_ties(netlist, stem, &t0, &t1));
-        outcome
-            .implications
-            .extend(extract_relations(netlist, stem, &t0, &t1, class_mask));
-        if learn_cross_frame {
-            outcome
-                .cross_frame
-                .extend(extract_cross_frame(netlist, stem, false, &t0));
-            outcome
-                .cross_frame
-                .extend(extract_cross_frame(netlist, stem, true, &t1));
+        harvest_stem(
+            netlist,
+            stem,
+            &t0,
+            &t1,
+            &roles,
+            learn_cross_frame,
+            &mut filter,
+            &mut outcome,
+        );
+    }
+    outcome
+}
+
+/// Runs single-node learning over `stems`, packing [`STEMS_PER_BATCH`] stems
+/// (both polarities each) into every forward pass.
+///
+/// Produces exactly the same outcome as [`run`]; the only difference is that
+/// the injection simulations go through the packed 64-wide kernel.
+pub fn run_batched(
+    sim: &InjectionSim<'_>,
+    stems: &[NodeId],
+    options: &SimOptions,
+    class_mask: Option<&[bool]>,
+    learn_cross_frame: bool,
+) -> SingleNodeOutcome {
+    let netlist = sim.netlist();
+    let mut outcome = SingleNodeOutcome::default();
+    let mut filter = PairFilter::for_netlist(netlist);
+    let roles = endpoint_roles(netlist, class_mask);
+    for chunk in stems.chunks(STEMS_PER_BATCH) {
+        let packed = simulate_stem_batch_packed(sim, chunk, options);
+        for (k, &stem) in chunk.iter().enumerate() {
+            harvest_stem(
+                netlist,
+                stem,
+                &packed.lane(2 * k),
+                &packed.lane(2 * k + 1),
+                &roles,
+                learn_cross_frame,
+                &mut filter,
+                &mut outcome,
+            );
         }
-        accumulate_support(netlist, stem, false, &t0, &mut outcome.support);
-        accumulate_support(netlist, stem, true, &t1, &mut outcome.support);
-        outcome.stems_processed += 1;
     }
     outcome
 }
@@ -323,7 +629,7 @@ mod tests {
         let i2 = n.require("i2").unwrap();
         let f1 = n.require("f1").unwrap();
         let (t0, _t1) = simulate_stem(&sim, i2, &SimOptions::default());
-        let mut support = SupportMap::new();
+        let mut support = SupportMap::default();
         accumulate_support(&n, i2, false, &t0, &mut support);
         let entries = support
             .get(&(f1, false))
@@ -359,6 +665,21 @@ mod tests {
         assert!(cross.iter().any(|c| c.antecedent == Literal::new(f1, true)
             && c.consequent == Literal::new(i2, true)
             && c.offset == -1));
+    }
+
+    #[test]
+    fn batched_run_matches_scalar_run() {
+        let n = sample();
+        let sim = InjectionSim::new(&n).unwrap();
+        let stems = sla_netlist::stems::fanout_stems(&n);
+        let options = SimOptions::default();
+        let scalar = run(&sim, &stems, &options, None, true);
+        let batched = run_batched(&sim, &stems, &options, None, true);
+        assert_eq!(scalar.implications, batched.implications);
+        assert_eq!(scalar.ties, batched.ties);
+        assert_eq!(scalar.cross_frame, batched.cross_frame);
+        assert_eq!(scalar.support, batched.support);
+        assert_eq!(scalar.stems_processed, batched.stems_processed);
     }
 
     #[test]

@@ -35,6 +35,7 @@ mod gate;
 mod netlist;
 mod seq;
 
+pub mod hash;
 pub mod levelize;
 pub mod parser;
 pub mod stems;
@@ -42,6 +43,7 @@ pub mod writer;
 
 pub use error::NetlistError;
 pub use gate::{GateType, NodeKind};
+pub use hash::{FastHashMap, FastHashSet, FastHasher};
 pub use netlist::{Netlist, NetlistBuilder, Node, NodeId};
 pub use seq::{ClockEdge, ClockId, LineConstraint, SeqInfo, SeqKind};
 

@@ -18,6 +18,9 @@ use sla_netlist::{Netlist, NodeId, NodeKind};
 pub struct CombEvaluator<'a> {
     netlist: &'a Netlist,
     levels: Levelization,
+    /// Position of every node in the levelized order, for cheap "did a value
+    /// flow backwards" checks during equivalence forwarding.
+    order_pos: Vec<u32>,
 }
 
 impl<'a> CombEvaluator<'a> {
@@ -27,9 +30,15 @@ impl<'a> CombEvaluator<'a> {
     ///
     /// Returns a levelization error if the combinational logic is cyclic.
     pub fn new(netlist: &'a Netlist) -> Result<Self> {
+        let levels = levelize(netlist)?;
+        let mut order_pos = vec![0u32; netlist.num_nodes()];
+        for (pos, &id) in levels.order().iter().enumerate() {
+            order_pos[id.index()] = pos as u32;
+        }
         Ok(CombEvaluator {
             netlist,
-            levels: levelize(netlist)?,
+            levels,
+            order_pos,
         })
     }
 
@@ -41,6 +50,11 @@ impl<'a> CombEvaluator<'a> {
     /// The levelization computed at construction time.
     pub fn levels(&self) -> &Levelization {
         &self.levels
+    }
+
+    /// Position of every node in the levelized order (indexed by node id).
+    pub(crate) fn order_pos(&self) -> &[u32] {
+        &self.order_pos
     }
 
     /// Evaluates all combinational gates.
@@ -63,16 +77,17 @@ impl<'a> CombEvaluator<'a> {
         debug_assert_eq!(values.len(), self.netlist.num_nodes());
         debug_assert_eq!(forced.len(), self.netlist.num_nodes());
         let mut conflict = None;
-        // Without equivalence forwarding one pass suffices; with it, values can
-        // flow "backwards" in the topological order, so iterate to fixpoint.
+        // A single topological pass suffices unless equivalence forwarding
+        // pushed a value backwards in the order; iterate to fixpoint only in
+        // that (rare) case.
         let max_passes = if equiv.is_some() {
             self.levels.order().len().max(1)
         } else {
             1
         };
         for _ in 0..max_passes {
-            let changed = self.eval_pass(values, forced, equiv, &mut conflict);
-            if !changed {
+            let needs_repass = self.eval_pass(values, forced, equiv, &mut conflict);
+            if !needs_repass {
                 break;
             }
         }
@@ -86,7 +101,7 @@ impl<'a> CombEvaluator<'a> {
         equiv: Option<&EquivClasses>,
         conflict: &mut Option<NodeId>,
     ) -> bool {
-        let mut changed = false;
+        let mut needs_repass = false;
         for &id in self.levels.order() {
             let node = self.netlist.node(id);
             let NodeKind::Gate(gate) = node.kind else {
@@ -109,13 +124,14 @@ impl<'a> CombEvaluator<'a> {
                 // genuine contradiction.
                 if values[idx] == Logic3::X {
                     values[idx] = computed;
-                    changed = true;
                 } else if values[idx] != computed && conflict.is_none() {
                     *conflict = Some(id);
                 }
             }
             // Equivalence forwarding: propagate a binary value to all members
-            // of the node's combinational equivalence class.
+            // of the node's combinational equivalence class. Only a write to a
+            // node *behind* the cursor forces another pass; writes ahead are
+            // consumed by this pass.
             if let Some(eq) = equiv {
                 if let Some(v) = values[idx].to_bool() {
                     if let Some((class, inv)) = eq.class_of(id) {
@@ -128,7 +144,9 @@ impl<'a> CombEvaluator<'a> {
                             let m_val = Logic3::from_bool(rep_value ^ m_inv);
                             if values[m_idx] == Logic3::X && !forced[m_idx] {
                                 values[m_idx] = m_val;
-                                changed = true;
+                                if self.order_pos[m_idx] < self.order_pos[idx] {
+                                    needs_repass = true;
+                                }
                             } else if values[m_idx].is_binary()
                                 && values[m_idx] != m_val
                                 && conflict.is_none()
@@ -140,7 +158,7 @@ impl<'a> CombEvaluator<'a> {
                 }
             }
         }
-        changed
+        needs_repass
     }
 }
 

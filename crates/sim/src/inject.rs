@@ -18,6 +18,7 @@
 
 use crate::equiv::EquivClasses;
 use crate::frame::CombEvaluator;
+use crate::packed::{eval_frame_packed, LaneConflicts, PackedTraces, PackedWord, TraceRead};
 use crate::value::Logic3;
 use crate::Result;
 use sla_netlist::{Netlist, NodeId};
@@ -106,6 +107,42 @@ impl Trace {
     /// Raw values of a frame.
     pub fn frame(&self, frame: usize) -> &[Logic3] {
         &self.frames[frame]
+    }
+}
+
+/// Crate-internal constructor used by [`PackedTraces::to_trace`].
+pub(crate) fn trace_from_parts(
+    frames: Vec<Vec<Logic3>>,
+    conflict: Option<Conflict>,
+    repeated: bool,
+) -> Trace {
+    Trace {
+        frames,
+        conflict,
+        repeated,
+    }
+}
+
+impl TraceRead for Trace {
+    fn num_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.frames.first().map(|f| f.len()).unwrap_or(0)
+    }
+
+    #[inline]
+    fn value(&self, frame: usize, node: NodeId) -> Logic3 {
+        self.frames[frame][node.index()]
+    }
+
+    fn conflict(&self) -> Option<Conflict> {
+        self.conflict
+    }
+
+    fn frames_equal(&self, a: usize, b: usize) -> bool {
+        self.frames[a] == self.frames[b]
     }
 }
 
@@ -278,6 +315,268 @@ impl<'a> InjectionSim<'a> {
         Trace {
             frames,
             conflict,
+            repeated,
+        }
+    }
+
+    /// Runs up to 64 independent forward simulations in one packed pass.
+    ///
+    /// Each element of `jobs` is an injection list exactly as accepted by
+    /// [`InjectionSim::run`]; entry *i* of the result is identical (frames,
+    /// conflict, state-repeat flag) to `self.run(jobs[i], options)`. The jobs
+    /// share every forward pass through the word-parallel kernel of
+    /// [`crate::packed`], which is what makes batched learning cheap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 jobs are passed.
+    pub fn run_batch(&self, jobs: &[&[Injection]], options: &SimOptions) -> Vec<Trace> {
+        let packed = self.run_batch_impl(jobs, options, None);
+        (0..packed.lanes()).map(|l| packed.to_trace(l)).collect()
+    }
+
+    /// Like [`InjectionSim::run_batch`], but returns the packed result
+    /// directly; per-lane views ([`crate::packed::LaneTrace`]) read it in
+    /// place with no unpacking.
+    pub fn run_batch_packed(&self, jobs: &[&[Injection]], options: &SimOptions) -> PackedTraces {
+        self.run_batch_impl(jobs, options, None)
+    }
+
+    /// Like [`InjectionSim::run_batch`], but lane *i* additionally stops after
+    /// `limits[i]` frames: entry *i* of the result is identical to running job
+    /// *i* alone with `max_frames = options.max_frames.min(limits[i])`. This
+    /// lets callers pack jobs with different frame horizons (e.g. multi-node
+    /// learning targets) into one pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 jobs are passed or `limits` has a different
+    /// length than `jobs`.
+    pub fn run_batch_with_limits(
+        &self,
+        jobs: &[&[Injection]],
+        options: &SimOptions,
+        limits: &[usize],
+    ) -> Vec<Trace> {
+        let packed = self.run_batch_with_limits_packed(jobs, options, limits);
+        (0..packed.lanes()).map(|l| packed.to_trace(l)).collect()
+    }
+
+    /// Like [`InjectionSim::run_batch_with_limits`], but returns the packed
+    /// result directly.
+    pub fn run_batch_with_limits_packed(
+        &self,
+        jobs: &[&[Injection]],
+        options: &SimOptions,
+        limits: &[usize],
+    ) -> PackedTraces {
+        assert_eq!(jobs.len(), limits.len(), "one frame limit per job");
+        self.run_batch_impl(jobs, options, Some(limits))
+    }
+
+    fn run_batch_impl(
+        &self,
+        jobs: &[&[Injection]],
+        options: &SimOptions,
+        limits: Option<&[usize]>,
+    ) -> PackedTraces {
+        let lanes = jobs.len();
+        assert!(lanes <= 64, "a packed batch holds at most 64 jobs");
+        let n = self.eval.netlist().num_nodes();
+        if lanes == 0 {
+            return PackedTraces {
+                num_nodes: n,
+                frames: Vec::new(),
+                lane_frames: Vec::new(),
+                conflicts: Vec::new(),
+                repeated: 0,
+            };
+        }
+        let lane_limit =
+            |lane: usize| limits.map_or(options.max_frames, |l| l[lane].min(options.max_frames));
+        let netlist = self.eval.netlist();
+        let order = self.eval.levels().order();
+        let order_pos = self.eval.order_pos();
+        let all: u64 = if lanes == 64 {
+            u64::MAX
+        } else {
+            (1u64 << lanes) - 1
+        };
+
+        // Per-lane frame horizon of pending injections: a lane never
+        // repeat-stops while injections are still scheduled (mirroring the
+        // scalar `later_injections` check, which looks at every injection
+        // regardless of the frame limit).
+        let last_injection: Vec<usize> = jobs
+            .iter()
+            .map(|job| job.iter().map(|i| i.frame).max().unwrap_or(0))
+            .collect();
+
+        // Per-lane injections sorted by frame (stable: within a frame the
+        // original order is kept, as the scalar path applies them), with a
+        // cursor advanced once per frame instead of a full rescan. Callers
+        // usually pass frame-sorted jobs already — those are borrowed as-is.
+        let sorted_jobs: Vec<std::borrow::Cow<'_, [Injection]>> = jobs
+            .iter()
+            .map(|job| {
+                if job.windows(2).all(|w| w[0].frame <= w[1].frame) {
+                    std::borrow::Cow::Borrowed(*job)
+                } else {
+                    let mut owned = job.to_vec();
+                    owned.sort_by_key(|i| i.frame);
+                    std::borrow::Cow::Owned(owned)
+                }
+            })
+            .collect();
+        let mut cursors = vec![0usize; lanes];
+
+        let mut active = 0u64;
+        let mut max_frames = 0usize;
+        for lane in 0..lanes {
+            if lane_limit(lane) > 0 {
+                active |= 1u64 << lane;
+                max_frames = max_frames.max(lane_limit(lane));
+            }
+        }
+        let mut repeated = 0u64;
+        let mut conflicts = LaneConflicts::new(lanes);
+        let mut lane_frames = vec![0usize; lanes];
+        let mut state = vec![PackedWord::ALL_X; n];
+        let mut packed_frames: Vec<Vec<PackedWord>> = Vec::new();
+        let mut fanin_buf: Vec<PackedWord> = Vec::new();
+
+        for t in 0..max_frames {
+            if active == 0 {
+                break;
+            }
+            let mut values = vec![PackedWord::ALL_X; n];
+            let mut forced = vec![0u64; n];
+
+            // Previously learned tied gates hold their constant in every frame
+            // and every lane.
+            for &(node, v) in &self.tied {
+                values[node.index()] = PackedWord::splat(Logic3::from_bool(v));
+                forced[node.index()] = all;
+            }
+
+            // Sequential state propagated from the previous frame.
+            for s in netlist.sequential_elements() {
+                let idx = s.index();
+                let incoming = state[idx];
+                let f = forced[idx];
+                conflicts.record(incoming.mismatch_lanes(values[idx]) & f & active, s, t);
+                let free = !f;
+                values[idx].one |= incoming.one & free;
+                values[idx].zero |= incoming.zero & free;
+            }
+
+            // Injections scheduled for this frame, per lane.
+            for (lane, job) in sorted_jobs.iter().enumerate() {
+                let bit = 1u64 << lane;
+                let cursor = &mut cursors[lane];
+                while *cursor < job.len() && job[*cursor].frame == t {
+                    let inj = job[*cursor];
+                    *cursor += 1;
+                    if active & bit == 0 {
+                        continue;
+                    }
+                    let idx = inj.node.index();
+                    let v = Logic3::from_bool(inj.value);
+                    let cur = values[idx].get(lane);
+                    if cur.is_binary() && cur != v {
+                        conflicts.record(bit, inj.node, t);
+                    }
+                    values[idx].set(lane, v);
+                    forced[idx] |= bit;
+                }
+            }
+
+            // Combinational evaluation of this frame.
+            eval_frame_packed(
+                netlist,
+                order,
+                order_pos,
+                &mut values,
+                &forced,
+                self.equiv.as_ref(),
+                active,
+                t,
+                &mut conflicts,
+                &mut fanin_buf,
+            );
+
+            packed_frames.push(values);
+            let mut live = active;
+            while live != 0 {
+                let lane = live.trailing_zeros() as usize;
+                live &= live - 1;
+                lane_frames[lane] = t + 1;
+            }
+            active &= !conflicts.mask();
+            if active == 0 {
+                break;
+            }
+
+            // Next sequential state.
+            let values = packed_frames.last().expect("frame just pushed");
+            let mut next = vec![PackedWord::ALL_X; n];
+            for s in netlist.sequential_elements() {
+                let info = *netlist.seq_info(s).expect("sequential element");
+                let data = netlist.fanins(s)[0];
+                let mut v = values[data.index()];
+                if options.respect_seq_rules {
+                    if !info.allows_propagation(true) {
+                        v.one = 0;
+                    }
+                    if !info.allows_propagation(false) {
+                        v.zero = 0;
+                    }
+                }
+                if let Some(mask) = &self.active_seq {
+                    if !mask[s.index()] {
+                        v = PackedWord::ALL_X;
+                    }
+                }
+                next[s.index()] = v;
+            }
+
+            if options.stop_on_repeat {
+                let mut same = all;
+                for s in netlist.sequential_elements() {
+                    same &= next[s.index()].eq_lanes(state[s.index()]);
+                    if same == 0 {
+                        break;
+                    }
+                }
+                let mut no_later = 0u64;
+                for (lane, &last) in last_injection.iter().enumerate() {
+                    if last <= t {
+                        no_later |= 1u64 << lane;
+                    }
+                }
+                let stop = same & no_later & active;
+                repeated |= stop;
+                active &= !stop;
+            }
+            // Per-lane frame limits deactivate only after the repeat check:
+            // the scalar loop also runs its repeat check during the final
+            // frame of a run.
+            let mut live = active;
+            while live != 0 {
+                let lane = live.trailing_zeros() as usize;
+                live &= live - 1;
+                if lane_limit(lane) == t + 1 {
+                    active &= !(1u64 << lane);
+                }
+            }
+            state = next;
+        }
+
+        PackedTraces {
+            num_nodes: n,
+            frames: packed_frames,
+            lane_frames,
+            conflicts: conflicts.take(),
             repeated,
         }
     }

@@ -5,6 +5,10 @@
 //! (`sla-atpg`) build on:
 //!
 //! * [`Logic3`] — three-valued logic (`0`, `1`, `X`) and gate evaluation,
+//! * [`packed`] — 64-wide packed three-valued words ([`PackedWord`]) and gate
+//!   evaluation, the word-parallel backbone behind batched injection
+//!   simulation ([`InjectionSim::run_batch`]) and word-parallel fault
+//!   dropping,
 //! * [`CombEvaluator`] — single-frame evaluation of the combinational logic in
 //!   levelized order, with forced (injected or tied) nodes and optional
 //!   gate-equivalence value forwarding,
@@ -52,6 +56,7 @@ mod fault_sim;
 mod frame;
 mod inject;
 mod oracle;
+pub mod packed;
 mod value;
 
 pub use equiv::{find_equivalences, EquivClasses, EquivConfig};
@@ -61,6 +66,7 @@ pub use fault_sim::{FaultSimulator, TestSequence};
 pub use frame::CombEvaluator;
 pub use inject::{Conflict, Injection, InjectionSim, SimOptions, Trace};
 pub use oracle::{OracleError, StateOracle};
+pub use packed::{eval_gate3x64, LaneTrace, PackedTraces, PackedWord, TraceRead};
 pub use value::Logic3;
 
 /// Result alias for simulation-layer errors, which are netlist errors
