@@ -171,6 +171,15 @@ impl LiteralAdjacency {
     pub fn relevant_nodes(&self) -> &[u32] {
         &self.relevant
     }
+
+    /// Returns `true` when `node` participates in at least one implication
+    /// (as antecedent or consequent; the contrapositive closure makes the two
+    /// sets identical).
+    #[inline]
+    pub fn node_has_edges(&self, node: u32) -> bool {
+        let lit0 = node as usize * 2;
+        self.offsets[lit0 + 2] > self.offsets[lit0]
+    }
 }
 
 /// Hint slot encoding of the flat layer arrays.
@@ -398,53 +407,8 @@ impl<'a> IncrementalLayer<'a> {
             // Only nodes with implication edges can fire events or carry
             // hints; the rest of the frame is irrelevant to the layer.
             for &nidx in adj.relevant_nodes() {
-                let idx = nidx as usize;
-                let Some(b) = values[idx].to_bool() else {
-                    continue;
-                };
-                let slot = base + idx;
-                if self.seen[slot] {
-                    continue;
-                }
-                self.seen[slot] = true;
-                self.seen_trail.push(slot as u32);
-                // A previously derived hint contradicted by the newly binary
-                // value is a conflict (the rebuild would catch it when firing
-                // the hint's antecedent).
-                if let Some(h) = decode_hint(self.hints[slot]) {
-                    if h != b {
-                        conflict = true;
-                    }
-                }
-                let lit = code(NodeId(nidx), b);
-                if chase {
-                    // Known-value mode chases transitively: queue the event so
-                    // derived hints fire their own consequents.
-                    self.queue.push((frame as u32, lit));
-                } else {
-                    // Forbidden-value mode stops at direct consequents: fire
-                    // inline, no queue round-trip.
-                    for &c in adj.consequents(lit) {
-                        let c_node = (c >> 1) as usize;
-                        let c_value = c & 1 == 1;
-                        if let Some(bb) = values[c_node].to_bool() {
-                            if bb != c_value {
-                                conflict = true;
-                            }
-                            continue;
-                        }
-                        let c_slot = base + c_node;
-                        match decode_hint(self.hints[c_slot]) {
-                            Some(existing) if existing != c_value => {
-                                conflict = true;
-                            }
-                            Some(_) => {}
-                            None => {
-                                self.hints[c_slot] = encode_hint(c_value);
-                                self.hint_trail.push(c_slot as u32);
-                            }
-                        }
-                    }
+                if self.process_literal(frame as u32, nidx, values, chase) {
+                    conflict = true;
                 }
             }
         }
@@ -452,32 +416,147 @@ impl<'a> IncrementalLayer<'a> {
         while head < self.queue.len() {
             let (frame, lit) = self.queue[head];
             head += 1;
-            let base = frame as usize * self.num_nodes;
-            for &c in adj.consequents(lit) {
-                let c_node = (c >> 1) as usize;
-                let c_value = c & 1 == 1;
-                if let Some(b) = good[frame as usize][c_node].to_bool() {
-                    if b != c_value {
-                        conflict = true;
-                    }
-                    continue;
-                }
-                let slot = base + c_node;
-                match decode_hint(self.hints[slot]) {
-                    Some(existing) if existing != c_value => {
-                        conflict = true;
-                    }
-                    Some(_) => {}
-                    None => {
-                        self.hints[slot] = encode_hint(c_value);
-                        self.hint_trail.push(slot as u32);
-                        self.queue.push((frame, c));
-                    }
-                }
+            if self.fire_consequents(frame, lit, &good[frame as usize], true) {
+                conflict = true;
             }
         }
         if conflict && self.conflict_level.is_none() {
             self.conflict_level = Some(level);
+        }
+        conflict
+    }
+
+    /// Event-driven variant of [`IncrementalLayer::update`]: instead of
+    /// scanning the window for values that became binary since the parent
+    /// level, processes exactly the given change events. `values` is the flat
+    /// `(frame * num_nodes + node)` good-machine array and `events` lists the
+    /// slots whose value became binary since the parent level (the change
+    /// stream of [`sla_sim::EventSim::assign`], or its initial binary slots
+    /// for level 0). Returns the conflict flag.
+    pub fn update_events(&mut self, level: usize, values: &[Logic3], events: &[u32]) -> bool {
+        assert_eq!(level, self.levels.len(), "levels must be pushed in order");
+        self.levels.push(LevelMark {
+            hints: self.hint_trail.len() as u32,
+            seen: self.seen_trail.len() as u32,
+        });
+        if self.hints.is_empty() {
+            return false;
+        }
+        let mut conflict = self.conflict_level.is_some();
+        let chase = self.mode == LearningMode::KnownValue;
+        self.queue.clear();
+        for &slot in events {
+            let slot = slot as usize;
+            let node = (slot % self.num_nodes) as u32;
+            let frame = slot / self.num_nodes;
+            // Only nodes with implication edges can fire events or carry
+            // hints; the rest of the change stream is irrelevant here.
+            if !self.adj.node_has_edges(node) {
+                continue;
+            }
+            let base = frame * self.num_nodes;
+            if self.process_literal(
+                frame as u32,
+                node,
+                &values[base..base + self.num_nodes],
+                chase,
+            ) {
+                conflict = true;
+            }
+        }
+        let mut head = 0;
+        while head < self.queue.len() {
+            let (frame, lit) = self.queue[head];
+            head += 1;
+            let base = frame as usize * self.num_nodes;
+            if self.fire_consequents(frame, lit, &values[base..base + self.num_nodes], true) {
+                conflict = true;
+            }
+        }
+        if conflict && self.conflict_level.is_none() {
+            self.conflict_level = Some(level);
+        }
+        conflict
+    }
+
+    /// Processes one potentially newly binary value (`node` in `frame`, with
+    /// `frame_values` the node-indexed values of that frame): skips non-binary
+    /// or already-seen slots, marks the seen trail, reports a conflict if a
+    /// previously derived hint is contradicted, and fires the literal's
+    /// consequents (queued for transitive chasing in known-value mode, inline
+    /// otherwise). Shared by the scan path ([`IncrementalLayer::update`]) and
+    /// the event path ([`IncrementalLayer::update_events`]) so the two cannot
+    /// drift. Returns `true` when a contradiction was observed.
+    fn process_literal(
+        &mut self,
+        frame: u32,
+        node: u32,
+        frame_values: &[Logic3],
+        chase: bool,
+    ) -> bool {
+        let Some(b) = frame_values[node as usize].to_bool() else {
+            return false;
+        };
+        let slot = frame as usize * self.num_nodes + node as usize;
+        if self.seen[slot] {
+            return false;
+        }
+        self.seen[slot] = true;
+        self.seen_trail.push(slot as u32);
+        // A previously derived hint contradicted by the newly binary value is
+        // a conflict (the rebuild would catch it when firing the hint's
+        // antecedent).
+        let mut conflict = matches!(decode_hint(self.hints[slot]), Some(h) if h != b);
+        let lit = code(NodeId(node), b);
+        if chase {
+            // Known-value mode chases transitively: queue the event so
+            // derived hints fire their own consequents.
+            self.queue.push((frame, lit));
+        } else if self.fire_consequents(frame, lit, frame_values, false) {
+            // Forbidden-value mode stops at direct consequents: fire inline,
+            // no queue round-trip.
+            conflict = true;
+        }
+        conflict
+    }
+
+    /// Fires the direct consequents of `lit` in `frame` over that frame's
+    /// good-machine values. Derived hints go on the trail; in chase mode a
+    /// fresh hint is queued so its own consequents fire too. Returns `true`
+    /// when a contradiction was observed.
+    fn fire_consequents(
+        &mut self,
+        frame: u32,
+        lit: u32,
+        frame_values: &[Logic3],
+        chase: bool,
+    ) -> bool {
+        let adj = self.adj;
+        let base = frame as usize * self.num_nodes;
+        let mut conflict = false;
+        for &c in adj.consequents(lit) {
+            let c_node = (c >> 1) as usize;
+            let c_value = c & 1 == 1;
+            if let Some(b) = frame_values[c_node].to_bool() {
+                if b != c_value {
+                    conflict = true;
+                }
+                continue;
+            }
+            let slot = base + c_node;
+            match decode_hint(self.hints[slot]) {
+                Some(existing) if existing != c_value => {
+                    conflict = true;
+                }
+                Some(_) => {}
+                None => {
+                    self.hints[slot] = encode_hint(c_value);
+                    self.hint_trail.push(slot as u32);
+                    if chase {
+                        self.queue.push((frame, c));
+                    }
+                }
+            }
         }
         conflict
     }
@@ -705,6 +784,66 @@ mod tests {
         // Re-deciding at the same level works after the pop.
         assert!(!inc.update(1, std::slice::from_ref(&one_frame), 0, None));
         assert_eq!(inc.hint(0, f2), Some(false));
+    }
+
+    #[test]
+    fn event_updates_match_scan_updates() {
+        let n = exclusive_pair();
+        let learned = learned_for(&n);
+        let adj = adjacency_for(&n, &learned);
+        let f1 = n.require("f1").unwrap();
+        let f2 = n.require("f2").unwrap();
+        let nn = n.num_nodes();
+        let x_frame = vec![Logic3::X; nn];
+        let mut one_frame = x_frame.clone();
+        one_frame[f1.index()] = Logic3::One;
+
+        let mut inc = IncrementalLayer::new(&adj, LearningMode::ForbiddenValue, 1, nn);
+        // Level 0: nothing binary, no events.
+        assert!(!inc.update_events(0, &x_frame, &[]));
+        // Level 1: f1 became binary — exactly one event.
+        assert!(!inc.update_events(1, &one_frame, &[f1.0]));
+        assert_eq!(inc.hint(0, f2), Some(false), "f1=1 forbids f2=1");
+        inc.pop_to(1);
+        assert_eq!(inc.hint(0, f2), None, "popping retracts the hint");
+        // Contradicting event at the re-opened level: f1=1 and f2=1.
+        let mut bad = one_frame.clone();
+        bad[f2.index()] = Logic3::One;
+        assert!(inc.update_events(1, &bad, &[f1.0, f2.0]));
+        assert!(inc.conflict());
+        inc.pop_to(1);
+        assert!(!inc.conflict());
+    }
+
+    #[test]
+    fn event_updates_chase_in_known_value_mode() {
+        // Handcrafted chain a=1 -> b=1 -> c=1 over three flip-flops.
+        let mut b = NetlistBuilder::new("chain");
+        b.input("i");
+        b.dff("a", "i").unwrap();
+        b.dff("bb", "a").unwrap();
+        b.dff("c", "bb").unwrap();
+        b.output("c").unwrap();
+        let n = b.build().unwrap();
+        let a = n.require("a").unwrap();
+        let bbn = n.require("bb").unwrap();
+        let c = n.require("c").unwrap();
+        let mut db = ImplicationDb::new();
+        db.add(
+            Implication::new(Literal::new(a, true), Literal::new(bbn, true)),
+            true,
+        );
+        db.add(
+            Implication::new(Literal::new(bbn, true), Literal::new(c, true)),
+            true,
+        );
+        let learned = LearnedData::from_parts(db, Vec::new());
+        let adj = adjacency_for(&n, &learned);
+        let mut frame = vec![Logic3::X; n.num_nodes()];
+        frame[a.index()] = Logic3::One;
+        let mut inc = IncrementalLayer::new(&adj, LearningMode::KnownValue, 1, n.num_nodes());
+        assert!(!inc.update_events(0, &frame, &[a.0]));
+        assert_eq!(inc.hint(0, c), Some(true), "chase reaches the chain end");
     }
 
     #[test]

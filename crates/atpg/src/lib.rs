@@ -48,11 +48,14 @@
 pub mod config;
 pub mod engine;
 pub mod learned;
+pub mod machines;
 pub mod tgen;
 
 pub use config::{AtpgConfig, LearningMode};
 pub use engine::{AtpgEngine, AtpgRun, AtpgStats, FaultStatus};
 pub use learned::{ImplicationLayer, IncrementalLayer, LearnedData, LiteralAdjacency};
+pub use machines::{MachineMark, SearchMachines};
+pub use tgen::{GenOutcome, GenResult, TestGenerator};
 
 /// Result alias: errors are structural netlist errors surfaced unchanged.
 pub type Result<T> = std::result::Result<T, sla_netlist::NetlistError>;

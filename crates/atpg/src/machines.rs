@@ -1,0 +1,261 @@
+//! The incrementally maintained pair of three-valued machines (good and
+//! faulty) the test generator searches over, plus the fault-cone restricted
+//! D-frontier derived from them.
+//!
+//! One [`SearchMachines`] instance lives for the duration of one
+//! `search_window` call: a decision assigns one primary input in one frame to
+//! *both* machines and propagates only through the affected cone
+//! ([`sla_sim::EventSim`]); a backtrack unwinds both value trails to the mark
+//! taken before the flipped decision. Fault-effect queries (D-frontier,
+//! detection) are restricted to the static fanout cone of the fault site —
+//! outside that cone the two machines are structurally identical, so no
+//! difference can ever appear there.
+
+use sla_netlist::levelize::Levelization;
+use sla_netlist::{Netlist, NodeId};
+use sla_sim::{EventSim, Fault, FaultSite, Logic3};
+
+/// Trail positions of both machines, taken before a decision so a backtrack
+/// can restore the exact prior state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineMark {
+    good: usize,
+    faulty: usize,
+}
+
+/// Paired good/faulty event-driven machines over one time-frame window.
+#[derive(Debug, Clone)]
+pub struct SearchMachines<'a> {
+    netlist: &'a Netlist,
+    fault: Fault,
+    good: EventSim<'a>,
+    faulty: EventSim<'a>,
+    /// Gates in the transitive fanout cone of the fault site, in levelized
+    /// order (the only gates that can ever sit on the D-frontier).
+    cone_gates: Vec<NodeId>,
+    /// Primary outputs inside the cone (the only ones that can detect).
+    cone_outputs: Vec<NodeId>,
+}
+
+impl<'a> SearchMachines<'a> {
+    /// Builds both machines for `fault` over `window` frames, reusing the
+    /// caller's levelization.
+    pub fn new(netlist: &'a Netlist, levels: &Levelization, window: usize, fault: Fault) -> Self {
+        let good = EventSim::with_levels(netlist, levels, window, None);
+        let faulty = EventSim::with_levels(netlist, levels, window, Some(fault));
+
+        // Static fanout cone of the fault site. For an input-pin fault the
+        // difference first appears at the faulted gate's output.
+        let mut in_cone = vec![false; netlist.num_nodes()];
+        let start = fault.site.node();
+        in_cone[start.index()] = true;
+        let mut stack = vec![start];
+        while let Some(x) = stack.pop() {
+            for &fo in netlist.fanouts(x) {
+                if !in_cone[fo.index()] {
+                    in_cone[fo.index()] = true;
+                    stack.push(fo);
+                }
+            }
+        }
+        let cone_gates = levels
+            .order()
+            .iter()
+            .copied()
+            .filter(|id| in_cone[id.index()])
+            .collect();
+        let cone_outputs = netlist
+            .outputs()
+            .iter()
+            .copied()
+            .filter(|po| in_cone[po.index()])
+            .collect();
+        SearchMachines {
+            netlist,
+            fault,
+            good,
+            faulty,
+            cone_gates,
+            cone_outputs,
+        }
+    }
+
+    /// Number of frames in the window.
+    pub fn window(&self) -> usize {
+        self.good.window()
+    }
+
+    /// The good machine.
+    pub fn good(&self) -> &EventSim<'a> {
+        &self.good
+    }
+
+    /// The faulty machine.
+    pub fn faulty(&self) -> &EventSim<'a> {
+        &self.faulty
+    }
+
+    /// The fault both machines were built for.
+    pub fn fault(&self) -> &Fault {
+        &self.fault
+    }
+
+    /// Gates that can ever carry a fault effect, in levelized order.
+    pub fn cone_gates(&self) -> &[NodeId] {
+        &self.cone_gates
+    }
+
+    /// Current trail marks of both machines.
+    pub fn mark(&self) -> MachineMark {
+        MachineMark {
+            good: self.good.mark(),
+            faulty: self.faulty.mark(),
+        }
+    }
+
+    /// Assigns `pi = value` in `frame` to both machines, propagating each
+    /// through its affected cone. The newly binary good-machine slots are
+    /// available from [`EventSim::changed`] on [`SearchMachines::good`].
+    pub fn assign(&mut self, frame: usize, pi: NodeId, value: bool) {
+        self.good.assign(frame, pi, value);
+        self.faulty.assign(frame, pi, value);
+    }
+
+    /// Unwinds both machines to `mark` (taken before the decisions being
+    /// retracted).
+    pub fn undo_to(&mut self, mark: MachineMark) {
+        self.good.undo_to(mark.good);
+        self.faulty.undo_to(mark.faulty);
+    }
+
+    /// Returns `true` when `node` in `frame` carries a fault effect (both
+    /// machines binary with opposite values).
+    #[inline]
+    pub fn is_d(&self, frame: usize, node: NodeId) -> bool {
+        is_d(self.good.value(frame, node), self.faulty.value(frame, node))
+    }
+
+    /// Returns `true` when some primary output in some frame shows the fault
+    /// effect under the current assignments.
+    pub fn detected(&self) -> bool {
+        for t in 0..self.window() {
+            for &po in &self.cone_outputs {
+                if self.is_d(t, po) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Returns `true` when some fanin of gate `id` in frame `t` carries a
+    /// fault effect. The faulted input pin itself carries an effect whenever
+    /// its healthy driver is at the opposite of the stuck value.
+    pub fn has_d_input(&self, t: usize, id: NodeId) -> bool {
+        let node = self.netlist.node(id);
+        node.fanins.iter().enumerate().any(|(pin, &f)| {
+            if self.fault.site == (FaultSite::Input { gate: id, pin }) {
+                matches!(self.good.value(t, f).to_bool(), Some(b) if b != self.fault.stuck_at)
+            } else {
+                self.is_d(t, f)
+            }
+        })
+    }
+
+    /// The current D-frontier, lazily: every `(frame, gate)` whose output
+    /// does not yet show the fault effect while some input carries one,
+    /// frames ascending and gates in levelized order within a frame (the
+    /// exact visit order of the from-scratch reference scan). Lazy so the
+    /// per-decision objective scan stops at its first usable entry instead
+    /// of materializing the whole window × cone product.
+    pub fn d_frontier_iter(&self) -> impl Iterator<Item = (usize, NodeId)> + '_ {
+        (0..self.window()).flat_map(move |t| {
+            self.cone_gates
+                .iter()
+                .filter(move |&&id| !self.is_d(t, id) && self.has_d_input(t, id))
+                .map(move |&id| (t, id))
+        })
+    }
+
+    /// The current D-frontier as a materialized list (test/reference
+    /// comparisons; the search loop uses [`SearchMachines::d_frontier_iter`]).
+    pub fn d_frontier(&self) -> Vec<(usize, NodeId)> {
+        self.d_frontier_iter().collect()
+    }
+}
+
+/// A fault effect: good and faulty values binary and opposite.
+pub(crate) fn is_d(good: Logic3, faulty: Logic3) -> bool {
+    matches!((good.to_bool(), faulty.to_bool()), (Some(a), Some(b)) if a != b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sla_netlist::levelize::levelize;
+    use sla_netlist::{GateType, NetlistBuilder};
+
+    /// Two independent halves; only one is in the fault cone.
+    fn split() -> Netlist {
+        let mut b = NetlistBuilder::new("split");
+        b.input("a");
+        b.input("c");
+        b.gate("g", GateType::Not, &["a"]).unwrap();
+        b.gate("h", GateType::And, &["g", "a"]).unwrap();
+        b.gate("k", GateType::Not, &["c"]).unwrap();
+        b.output("h").unwrap();
+        b.output("k").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cone_restricts_frontier_and_outputs() {
+        let n = split();
+        let levels = levelize(&n).unwrap();
+        let g = n.require("g").unwrap();
+        let m = SearchMachines::new(&n, &levels, 1, Fault::output(g, true));
+        let names: Vec<&str> = m
+            .cone_gates()
+            .iter()
+            .map(|&id| n.node(id).name.as_str())
+            .collect();
+        assert_eq!(names, vec!["g", "h"], "k is outside the fault cone");
+        assert_eq!(m.cone_outputs.len(), 1);
+    }
+
+    #[test]
+    fn frontier_appears_and_detection_follows() {
+        let n = split();
+        let levels = levelize(&n).unwrap();
+        let g = n.require("g").unwrap();
+        let h = n.require("h").unwrap();
+        let a = n.require("a").unwrap();
+        // g stuck-at-1: excite with a=1 (good g=0, faulty g=1).
+        let mut m = SearchMachines::new(&n, &levels, 1, Fault::output(g, true));
+        assert!(!m.detected());
+        let mark = m.mark();
+        m.assign(0, a, true);
+        assert!(m.is_d(0, g));
+        // h = AND(g, a): the effect propagated straight through (a=1 is
+        // non-controlling), so h itself is a D and the frontier is empty.
+        assert!(m.is_d(0, h));
+        assert!(m.d_frontier().is_empty());
+        assert!(m.detected());
+        m.undo_to(mark);
+        assert!(!m.detected());
+        assert!(!m.is_d(0, g), "undo clears the excitation");
+    }
+
+    #[test]
+    fn unexcited_fault_has_no_frontier() {
+        let n = split();
+        let levels = levelize(&n).unwrap();
+        let g = n.require("g").unwrap();
+        let a = n.require("a").unwrap();
+        let mut m = SearchMachines::new(&n, &levels, 1, Fault::output(g, false));
+        // a=1 makes the good g = 0 = stuck value: no effect anywhere.
+        m.assign(0, a, true);
+        assert!(!m.detected());
+        assert!(m.d_frontier().is_empty());
+    }
+}

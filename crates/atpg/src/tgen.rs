@@ -14,10 +14,11 @@
 
 use crate::config::{AtpgConfig, LearningMode};
 use crate::learned::{IncrementalLayer, LearnedData, LiteralAdjacency};
+use crate::machines::{MachineMark, SearchMachines};
 use crate::Result;
 use sla_netlist::levelize::{levelize, Levelization};
 use sla_netlist::{GateType, Netlist, NodeId, NodeKind};
-use sla_sim::{eval_gate3, Fault, FaultSite, Logic3, TestSequence};
+use sla_sim::{eval_gate3, EventSim, Fault, FaultSite, Logic3, TestSequence};
 use std::collections::HashMap;
 
 /// Outcome of test generation for one fault.
@@ -27,7 +28,12 @@ pub enum GenOutcome {
     Detected(TestSequence),
     /// The search space was exhausted at the maximum window without reaching
     /// the backtrack limit: the fault is reported untestable (within the
-    /// window, see DESIGN.md for the approximation).
+    /// window, see DESIGN.md for the approximation). Under a learning mode
+    /// the exhausted space excludes branches pruned by learned implications,
+    /// so "untestable" additionally assumes the circuit operates from a
+    /// state consistent with its learned invariants (the paper's §4
+    /// semantics — a test relying on a power-up state the invariants exclude
+    /// is not searched for).
     Untestable,
     /// The backtrack or decision limit was reached.
     Aborted,
@@ -50,6 +56,9 @@ struct Decision {
     pi: NodeId,
     value: bool,
     flipped: bool,
+    /// Machine trail marks taken just before this decision was applied, so a
+    /// backtrack restores the exact prior values.
+    mark: MachineMark,
 }
 
 /// Sequential PODEM test generator.
@@ -137,60 +146,44 @@ impl<'a> TestGenerator<'a> {
         decision_budget: usize,
     ) -> (WindowOutcome, usize, usize) {
         let mut decisions: Vec<Decision> = Vec::new();
-        let mut assigned: HashMap<(usize, u32), bool> = HashMap::new();
         let mut backtracks = 0usize;
         let mut decision_count = 0usize;
 
-        // Learned-implication layer, maintained incrementally: level 0 is the
-        // undecided search point, every decision opens one level, and
+        // The pair of three-valued machines, maintained event-driven: a
+        // decision propagates only through the affected cone of the assigned
+        // PI (crossing flip-flop boundaries into later frames only when a
+        // frame output actually changed), and a backtrack unwinds the value
+        // trails. The retained from-scratch path is `simulate_reference`;
+        // `tests/incremental_sim_prop.rs` asserts the two stay bit-exact.
+        let mut machines = SearchMachines::new(self.netlist, &self.levels, window, *fault);
+
+        // Learned-implication layer, fed from the same change events: level 0
+        // is the undecided search point, every decision opens one level, and
         // backtracking unwinds to the unchanged prefix before the flipped
         // decision re-opens its level. Values only *become* binary along a
         // decision path (three-valued simulation is monotone), so each update
-        // processes the newly binary values alone.
+        // processes exactly the newly binary values of the good machine.
         let mut layer = IncrementalLayer::new(
             &self.adjacency,
             self.config.learning,
             window,
             self.netlist.num_nodes(),
         );
-        let mut pending_level = 0usize;
-        let mut pending_frame = 0usize;
-        // Good-machine values of the previous search point, as one flat
-        // reusable buffer. On a plain decision step the previous point is the
-        // parent level, so the layer can skip value-identical frames; after a
-        // backtrack the previous point is unrelated and the snapshot is
-        // invalidated.
-        let n = self.netlist.num_nodes();
-        let mut parent_buf: Vec<Logic3> = Vec::new();
-        let mut parent_valid = false;
+        let mut conflict =
+            layer.update_events(0, machines.good().values(), machines.good().changed());
 
         loop {
-            let (good, faulty) = self.simulate(fault, window, &assigned);
-
-            // A contradiction with the learned implications is an early conflict.
-            let parent = parent_valid.then_some(parent_buf.as_slice());
-            let conflict = layer.update(pending_level, &good, pending_frame, parent);
-            // Snapshot only when the layer can actually use it (mirrors the
-            // inert condition of `IncrementalLayer::new`).
-            if self.config.learning.uses_learning() && !self.adjacency.is_empty() {
-                parent_buf.resize(window * n, Logic3::X);
-                for (f, values) in good.iter().enumerate() {
-                    parent_buf[f * n..(f + 1) * n].copy_from_slice(values);
-                }
-                parent_valid = true;
-            }
-
-            if !conflict && self.detected(&good, &faulty) {
-                let seq = self.to_sequence(window, &assigned);
+            if !conflict && machines.detected() {
+                let seq = self.to_sequence(machines.good());
                 return (WindowOutcome::Detected(seq), backtracks, decision_count);
             }
 
             let next = if conflict {
                 None
             } else {
-                self.objective(fault, window, &good, &faulty)
+                self.objective(fault, &machines)
                     .and_then(|(frame, node, value)| {
-                        self.backtrace(frame, node, value, &good, &layer)
+                        self.backtrace(frame, node, value, machines.good(), &layer)
                     })
             };
 
@@ -200,15 +193,20 @@ impl<'a> TestGenerator<'a> {
                     if decision_count > decision_budget {
                         return (WindowOutcome::Aborted, backtracks, decision_count);
                     }
-                    assigned.insert((frame, pi.0), value);
+                    let mark = machines.mark();
+                    machines.assign(frame, pi, value);
                     decisions.push(Decision {
                         frame,
                         pi,
                         value,
                         flipped: false,
+                        mark,
                     });
-                    pending_level = decisions.len();
-                    pending_frame = frame;
+                    conflict = layer.update_events(
+                        decisions.len(),
+                        machines.good().values(),
+                        machines.good().changed(),
+                    );
                 }
                 None => {
                     // Conflict or no objective/backtrace possible: backtrack.
@@ -219,23 +217,26 @@ impl<'a> TestGenerator<'a> {
                                 if backtracks > backtrack_budget {
                                     return (WindowOutcome::Aborted, backtracks, decision_count);
                                 }
+                                // Restore the machines to just before this
+                                // decision; flipped decisions popped above it
+                                // sit later on the same trails and unwind too.
+                                machines.undo_to(d.mark);
                                 d.value = !d.value;
                                 d.flipped = true;
-                                assigned.insert((d.frame, d.pi.0), d.value);
+                                machines.assign(d.frame, d.pi, d.value);
                                 decisions.push(d);
                                 // Keep the base level plus the unchanged
                                 // decisions before the flipped one; the flip
-                                // re-opens its level at the next update.
+                                // re-opens its level.
                                 layer.pop_to(decisions.len());
-                                pending_level = decisions.len();
-                                pending_frame = d.frame;
-                                parent_valid = false;
+                                conflict = layer.update_events(
+                                    decisions.len(),
+                                    machines.good().values(),
+                                    machines.good().changed(),
+                                );
                                 break;
                             }
-                            Some(d) => {
-                                assigned.remove(&(d.frame, d.pi.0));
-                                continue;
-                            }
+                            Some(_) => continue,
                             None => {
                                 return (WindowOutcome::Exhausted, backtracks, decision_count);
                             }
@@ -247,8 +248,14 @@ impl<'a> TestGenerator<'a> {
     }
 
     /// Simulates good and faulty machines over `window` frames under the
-    /// current primary-input assignments (everything else `X`, initial state `X`).
-    fn simulate(
+    /// given primary-input assignments (everything else `X`, initial state
+    /// `X`), from scratch.
+    ///
+    /// This is the retained reference implementation of the event-driven
+    /// [`SearchMachines`] state the search loop actually maintains; the
+    /// property test `tests/incremental_sim_prop.rs` asserts the two are
+    /// bit-exact under arbitrary decide/flip/backtrack scripts.
+    pub fn simulate_reference(
         &self,
         fault: &Fault,
         window: usize,
@@ -319,40 +326,28 @@ impl<'a> TestGenerator<'a> {
         (good, faulty)
     }
 
-    fn detected(&self, good: &[Vec<Logic3>], faulty: &[Vec<Logic3>]) -> bool {
-        for (g, f) in good.iter().zip(faulty) {
-            for &po in self.netlist.outputs() {
-                if let (Some(a), Some(b)) = (g[po.index()].to_bool(), f[po.index()].to_bool()) {
-                    if a != b {
-                        return true;
-                    }
-                }
-            }
-        }
-        false
-    }
-
     /// Picks the next objective: excite the fault if it is not excited yet,
-    /// otherwise advance a D-frontier gate.
+    /// otherwise advance a D-frontier gate. The D-frontier comes from the
+    /// incrementally maintained machines and is restricted to the fault cone.
     fn objective(
         &self,
         fault: &Fault,
-        window: usize,
-        good: &[Vec<Logic3>],
-        faulty: &[Vec<Logic3>],
+        machines: &SearchMachines<'_>,
     ) -> Option<(usize, NodeId, bool)> {
+        let window = machines.window();
+        let good = machines.good();
         let excitation_node = match fault.site {
             FaultSite::Output(n) => n,
             FaultSite::Input { gate, pin } => self.netlist.fanins(gate)[pin],
         };
         let want = !fault.stuck_at;
         let excited =
-            (0..window).any(|t| good[t][excitation_node.index()] == Logic3::from_bool(want));
+            (0..window).any(|t| good.value(t, excitation_node) == Logic3::from_bool(want));
         if !excited {
             // Prefer the latest frame with an unknown value on the site: later
             // frames leave room to set up the required state in earlier frames.
-            for (t, frame) in good.iter().enumerate().rev() {
-                if frame[excitation_node.index()] == Logic3::X {
+            for t in (0..window).rev() {
+                if good.value(t, excitation_node) == Logic3::X {
                     return Some((t, excitation_node, want));
                 }
             }
@@ -362,33 +357,15 @@ impl<'a> TestGenerator<'a> {
         // D-frontier: a gate with a fault effect on an input whose output does
         // not yet show the effect; set one unknown input to the non-controlling
         // value to push the effect through.
-        for t in 0..window {
-            for &id in self.levels.order() {
-                let node = self.netlist.node(id);
-                let NodeKind::Gate(gate) = node.kind else {
-                    continue;
-                };
-                let out_d = is_d(good[t][id.index()], faulty[t][id.index()]);
-                if out_d {
-                    continue;
-                }
-                let has_d_input = node.fanins.iter().enumerate().any(|(pin, f)| {
-                    if fault.site == (FaultSite::Input { gate: id, pin }) {
-                        // The faulted pin carries a fault effect whenever its
-                        // driver is at the opposite of the stuck value.
-                        matches!(good[t][f.index()].to_bool(), Some(b) if b != fault.stuck_at)
-                    } else {
-                        is_d(good[t][f.index()], faulty[t][f.index()])
-                    }
-                });
-                if !has_d_input {
-                    continue;
-                }
-                let noncontrolling = gate.controlling_value().map(|c| !c).unwrap_or(false);
-                for &f in &node.fanins {
-                    if good[t][f.index()] == Logic3::X {
-                        return Some((t, f, noncontrolling));
-                    }
+        for (t, id) in machines.d_frontier_iter() {
+            let node = self.netlist.node(id);
+            let NodeKind::Gate(gate) = node.kind else {
+                continue;
+            };
+            let noncontrolling = gate.controlling_value().map(|c| !c).unwrap_or(false);
+            for &f in &node.fanins {
+                if good.value(t, f) == Logic3::X {
+                    return Some((t, f, noncontrolling));
                 }
             }
         }
@@ -405,7 +382,7 @@ impl<'a> TestGenerator<'a> {
         frame: usize,
         node: NodeId,
         value: bool,
-        good: &[Vec<Logic3>],
+        good: &EventSim<'_>,
         layer: &IncrementalLayer<'_>,
     ) -> Option<(usize, NodeId, bool)> {
         let mut budget = 4 * self.netlist.num_nodes() * (frame + 2);
@@ -417,7 +394,7 @@ impl<'a> TestGenerator<'a> {
         frame: usize,
         node: NodeId,
         value: bool,
-        good: &[Vec<Logic3>],
+        good: &EventSim<'_>,
         layer: &IncrementalLayer<'_>,
         budget: &mut usize,
     ) -> Option<(usize, NodeId, bool)> {
@@ -425,9 +402,19 @@ impl<'a> TestGenerator<'a> {
             return None;
         }
         *budget -= 1;
+        // A learned hint contradicting the needed value makes this branch
+        // futile: the implication says no machine state consistent with the
+        // current assignments lets `node` take `value`, so justifying it can
+        // only end in a conflict (or dead Xs) — prune the subtree before
+        // spending decisions on it. This is the paper's §4 forbidden-value
+        // pruning; without it, circuit-enforced invariants never contradict
+        // the simulation and learning cannot cut a single branch.
+        if layer.hint(frame, node).is_some_and(|h| h != value) {
+            return None;
+        }
         match &self.netlist.node(node).kind {
             NodeKind::Input => {
-                if good[frame][node.index()] == Logic3::X {
+                if good.value(frame, node) == Logic3::X {
                     Some((frame, node, value))
                 } else {
                     None
@@ -484,7 +471,7 @@ impl<'a> TestGenerator<'a> {
                         let mut parity = gate.inverts();
                         let mut unknown = Vec::new();
                         for &f in fanins {
-                            match good[frame][f.index()].to_bool() {
+                            match good.value(frame, f).to_bool() {
                                 Some(b) => parity ^= b,
                                 None => unknown.push(f),
                             }
@@ -512,13 +499,13 @@ impl<'a> TestGenerator<'a> {
         fanins: &[NodeId],
         frame: usize,
         target: bool,
-        good: &[Vec<Logic3>],
+        good: &EventSim<'_>,
         layer: &IncrementalLayer<'_>,
     ) -> Vec<NodeId> {
         let mut unknown: Vec<NodeId> = fanins
             .iter()
             .copied()
-            .filter(|f| good[frame][f.index()] == Logic3::X)
+            .filter(|&f| good.value(frame, f) == Logic3::X)
             .collect();
         let score = |f: &NodeId| -> i32 {
             let mut s = 0;
@@ -534,18 +521,18 @@ impl<'a> TestGenerator<'a> {
         unknown
     }
 
-    fn to_sequence(&self, window: usize, assigned: &HashMap<(usize, u32), bool>) -> TestSequence {
-        let vectors = (0..window)
+    fn to_sequence(&self, good: &EventSim<'_>) -> TestSequence {
+        let vectors = (0..good.window())
             .map(|frame| {
                 self.netlist
                     .inputs()
                     .iter()
-                    .map(|pi| match assigned.get(&(frame, pi.0)) {
-                        Some(&b) => Logic3::from_bool(b),
+                    .map(|&pi| match good.value(frame, pi) {
                         // Unassigned inputs are filled with 0: a three-valued
                         // detection is preserved by any refinement of the Xs,
                         // and fully specified vectors drop more faults.
-                        None => Logic3::Zero,
+                        Logic3::X => Logic3::Zero,
+                        v => v,
                     })
                     .collect()
             })
@@ -559,10 +546,6 @@ enum WindowOutcome {
     Detected(TestSequence),
     Exhausted,
     Aborted,
-}
-
-fn is_d(good: Logic3, faulty: Logic3) -> bool {
-    matches!((good.to_bool(), faulty.to_bool()), (Some(a), Some(b)) if a != b)
 }
 
 #[cfg(test)]

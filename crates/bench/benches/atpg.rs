@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sla_atpg::{AtpgConfig, AtpgEngine, LearnedData, LearningMode};
-use sla_circuits::{retimed_circuit, RetimedConfig};
+use sla_circuits::{retimed_circuit, table5_circuit, RetimedConfig, Table5Config};
 use sla_core::{LearnConfig, SequentialLearner};
 use sla_sim::{collapsed_fault_list, FaultSimulator, Logic3, TestSequence};
 
@@ -57,6 +57,35 @@ fn atpg_with_and_without_learning(c: &mut Criterion) {
     group.finish();
 }
 
+/// The event-driven incremental search loop on the Table-5 workload: deep
+/// redundant select stacks mean long decide/backtrack sequences per fault,
+/// which is exactly the path the incrementally maintained good/faulty
+/// machines (and the event-fed implication layer) accelerate.
+fn atpg_search_incremental(c: &mut Criterion) {
+    let netlist = table5_circuit(&Table5Config::default());
+    let faults = collapsed_fault_list(&netlist);
+    let learned = LearnedData::from(
+        &SequentialLearner::new(&netlist, LearnConfig::default())
+            .learn()
+            .expect("learning succeeds"),
+    );
+
+    let mut group = c.benchmark_group("atpg_search");
+    group.sample_size(10);
+    group.bench_function("incremental", |b| {
+        b.iter(|| {
+            AtpgEngine::new(
+                &netlist,
+                AtpgConfig::with_backtrack_limit(100).learning(LearningMode::ForbiddenValue),
+            )
+            .expect("levelizes")
+            .with_learned(learned.clone())
+            .run(&faults)
+        })
+    });
+    group.finish();
+}
+
 /// Word-parallel fault dropping: one test sequence fault-simulated against
 /// the whole collapsed fault list (the per-test inner loop of
 /// `AtpgEngine::run`).
@@ -92,5 +121,10 @@ fn fault_dropping(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, atpg_with_and_without_learning, fault_dropping);
+criterion_group!(
+    benches,
+    atpg_with_and_without_learning,
+    fault_dropping,
+    atpg_search_incremental
+);
 criterion_main!(benches);

@@ -11,10 +11,14 @@
 //! `SLA_BENCH_JSON=<path> cargo bench -p sla-bench` (one object per line) or a
 //! committed baseline file like `BENCH_baseline.json` that wraps the same
 //! records in a `"results"` array with toolchain metadata. Records are matched
-//! by `group/bench`; benches present on only one side are listed but never
-//! fail the gate. With `--fail-above <pct>`, the process exits non-zero when
-//! any common bench's median regressed by more than `pct` percent — or when
-//! there is no common bench at all, which would make the gate vacuous.
+//! by `group/bench`; benches only in the current run are listed as `new` and
+//! never fail the gate. With `--fail-above <pct>`, the process exits non-zero
+//! when any common bench's median regressed by more than `pct` percent, when
+//! a baseline bench is missing from the current run (the gate would silently
+//! lose coverage), when a baseline median is zero (the relative delta is
+//! undefined), or when there is no common bench at all, which would make the
+//! gate vacuous. Records naming a bench without a usable `median_ns` abort
+//! the diff with a message.
 
 use std::process::ExitCode;
 
@@ -50,24 +54,28 @@ fn num_field(object: &str, key: &str) -> Option<f64> {
 /// Parses every benchmark record in `text`. Works for both supported formats
 /// because records are flat objects: each `{…}` span containing a `"group"`
 /// key is treated as one record; enclosing metadata objects have no `"group"`
-/// and are skipped.
-fn parse_records(text: &str) -> Vec<Record> {
+/// and are skipped. Records naming a bench but carrying no parseable
+/// `median_ns` are returned separately so the caller can refuse to gate on a
+/// file with holes instead of silently ignoring them.
+fn parse_records(text: &str) -> (Vec<Record>, Vec<String>) {
     let mut records = Vec::new();
+    let mut malformed = Vec::new();
     for chunk in text.split('{').skip(1) {
         let object = chunk.split('}').next().unwrap_or("");
-        if let (Some(group), Some(bench), Some(median_ns)) = (
-            str_field(object, "group"),
-            str_field(object, "bench"),
-            num_field(object, "median_ns"),
-        ) {
-            records.push(Record {
+        let (Some(group), Some(bench)) = (str_field(object, "group"), str_field(object, "bench"))
+        else {
+            continue;
+        };
+        match num_field(object, "median_ns") {
+            Some(median_ns) => records.push(Record {
                 group,
                 bench,
                 median_ns,
-            });
+            }),
+            None => malformed.push(format!("{group}/{bench}")),
         }
     }
-    records
+    (records, malformed)
 }
 
 fn format_ms(ns: f64) -> String {
@@ -109,8 +117,21 @@ fn main() -> ExitCode {
     else {
         return ExitCode::from(2);
     };
-    let baseline = parse_records(&baseline_text);
-    let current = parse_records(&current_text);
+    let (baseline, baseline_bad) = parse_records(&baseline_text);
+    let (current, current_bad) = parse_records(&current_text);
+    for (path, bad) in [(baseline_path, &baseline_bad), (current_path, &current_bad)] {
+        if !bad.is_empty() {
+            eprintln!(
+                "{path}: {} record(s) without a usable median_ns: {}",
+                bad.len(),
+                bad.join(", ")
+            );
+        }
+    }
+    if !baseline_bad.is_empty() || !current_bad.is_empty() {
+        eprintln!("refusing to diff files with malformed records");
+        return ExitCode::from(2);
+    }
     if baseline.is_empty() || current.is_empty() {
         eprintln!(
             "no benchmark records parsed ({} in {baseline_path}, {} in {current_path})",
@@ -125,6 +146,8 @@ fn main() -> ExitCode {
         "bench", "base (ms)", "curr (ms)", "delta"
     );
     let mut worst: Option<(String, f64)> = None;
+    let mut zero_based: Vec<String> = Vec::new();
+    let mut missing: Vec<String> = Vec::new();
     for base in &baseline {
         let name = format!("{}/{}", base.group, base.bench);
         match current
@@ -132,6 +155,20 @@ fn main() -> ExitCode {
             .find(|c| c.group == base.group && c.bench == base.bench)
         {
             Some(curr) => {
+                // A zero (or negative) baseline median makes the relative
+                // delta undefined; collect it instead of dividing by zero and
+                // letting a NaN/inf slip through the gate comparisons.
+                if base.median_ns <= 0.0 {
+                    println!(
+                        "{:<44} {:>12} {:>12} {:>9}",
+                        name,
+                        format_ms(base.median_ns),
+                        format_ms(curr.median_ns),
+                        "zero-base"
+                    );
+                    zero_based.push(name);
+                    continue;
+                }
                 let delta = (curr.median_ns - base.median_ns) / base.median_ns * 100.0;
                 println!(
                     "{:<44} {:>12} {:>12} {:>+8.1}%",
@@ -144,13 +181,16 @@ fn main() -> ExitCode {
                     worst = Some((name, delta));
                 }
             }
-            None => println!(
-                "{:<44} {:>12} {:>12} {:>9}",
-                name,
-                format_ms(base.median_ns),
-                "-",
-                "missing"
-            ),
+            None => {
+                println!(
+                    "{:<44} {:>12} {:>12} {:>9}",
+                    name,
+                    format_ms(base.median_ns),
+                    "-",
+                    "missing"
+                );
+                missing.push(name);
+            }
         }
     }
     for curr in &current {
@@ -168,6 +208,26 @@ fn main() -> ExitCode {
         }
     }
 
+    if !zero_based.is_empty() && fail_above.is_some() {
+        // A zero-median baseline bench cannot be judged against a relative
+        // limit; a broken baseline must be regenerated, not gated around.
+        eprintln!(
+            "FAIL: baseline median is zero for {} — regenerate the baseline before gating",
+            zero_based.join(", ")
+        );
+        return ExitCode::from(1);
+    }
+    if !missing.is_empty() && fail_above.is_some() {
+        // A baseline bench absent from the current run means the gate lost
+        // coverage (renamed or deleted bench): refresh the baseline
+        // deliberately instead of letting the comparison silently shrink.
+        eprintln!(
+            "FAIL: baseline bench(es) missing from the current run: {} — \
+             refresh the baseline if the removal is intentional",
+            missing.join(", ")
+        );
+        return ExitCode::from(1);
+    }
     match (&worst, fail_above) {
         (Some((name, delta)), Some(limit)) => {
             println!("\nworst regression: {name} at {delta:+.1}%");
@@ -219,8 +279,9 @@ mod tests {
 
     #[test]
     fn parses_json_lines() {
-        let records = parse_records(JSONL);
+        let (records, malformed) = parse_records(JSONL);
         assert_eq!(records.len(), 2);
+        assert!(malformed.is_empty());
         assert_eq!(records[0].group, "g");
         assert_eq!(records[0].bench, "a");
         assert_eq!(records[0].median_ns, 90.0);
@@ -230,10 +291,32 @@ mod tests {
 
     #[test]
     fn parses_wrapped_baseline() {
-        let records = parse_records(WRAPPED);
+        let (records, malformed) = parse_records(WRAPPED);
         assert_eq!(records.len(), 2, "metadata object must not parse");
+        assert!(malformed.is_empty());
         assert_eq!(records[0].median_ns, 100.0);
         assert_eq!(records[1].group, "h");
+    }
+
+    #[test]
+    fn records_without_median_are_reported_not_dropped() {
+        let text = r#"{"group": "g", "bench": "a", "median_ns": 90}
+{"group": "g", "bench": "broken", "samples": 10}
+{"group": "g", "bench": "nan", "median_ns": "oops"}
+"#;
+        let (records, malformed) = parse_records(text);
+        assert_eq!(records.len(), 1);
+        assert_eq!(malformed, vec!["g/broken".to_string(), "g/nan".to_string()]);
+    }
+
+    #[test]
+    fn zero_median_parses_but_is_not_gateable() {
+        // The parser keeps a 0 median (it is the gate logic that refuses it);
+        // this pins the contract the main-path guard relies on.
+        let (records, malformed) = parse_records(r#"{"group": "g", "bench": "z", "median_ns": 0}"#);
+        assert!(malformed.is_empty());
+        assert_eq!(records[0].median_ns, 0.0);
+        assert!(records[0].median_ns <= 0.0, "guard condition must trip");
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   make sequential ATPG hard,
 //! * [`industrial`] — a generator exercising the real-circuit features
 //!   (multiple clock domains, partial set/reset, multi-port latches),
+//! * [`table5`] — redundant logic guarded by mutually exclusive derived
+//!   state behind mixed-depth flip-flop chains: the workload on which
+//!   learned implications strictly prune the ATPG search (Table 5 regime),
 //! * [`profiles`] — named circuit profiles mirroring the rows of Table 3 /
 //!   Table 5, mapped onto the generators with a scale factor.
 
@@ -23,6 +26,7 @@ pub mod profiles;
 pub mod retimed;
 pub mod s27;
 pub mod synth;
+pub mod table5;
 
 pub use figures::{paper_style_figure1, paper_style_figure2};
 pub use industrial::{industrial_circuit, IndustrialConfig};
@@ -33,3 +37,4 @@ pub use profiles::{
 pub use retimed::{retimed_circuit, RetimedConfig};
 pub use s27::s27;
 pub use synth::{synthesize, SynthConfig};
+pub use table5::{table5_circuit, Table5Config};

@@ -27,6 +27,12 @@ pub struct MultiNodeOutcome {
     pub ties: Vec<TiedGate>,
     /// Number of learning targets processed.
     pub targets_processed: usize,
+    /// Batched path only: number of packed batches cut short because a lane
+    /// proved a tie (the suffix after that lane is re-simulated under the
+    /// updated tied state).
+    pub batch_restarts: usize,
+    /// Batched path only: lanes simulated but discarded by those restarts.
+    pub wasted_lanes: usize,
 }
 
 /// One prepared learning target.
@@ -223,6 +229,12 @@ pub fn run(
 /// to and including the first conflict are harvested — they only depended on
 /// the unchanged prefix state — the tie is registered, and batching restarts
 /// at the next target under the updated state.
+///
+/// The batch width adapts to the tie density: every restart halves the next
+/// batch (down to [`MIN_BATCH`]) because on tie-dense target lists a wide
+/// batch mostly simulates lanes that are thrown away, and every conflict-free
+/// batch doubles it again (up to 64). The restart and wasted-lane counts are
+/// reported in the outcome.
 #[allow(clippy::too_many_arguments)]
 pub fn run_batched(
     sim: &mut InjectionSim<'_>,
@@ -247,6 +259,7 @@ pub fn run_batched(
         }
     };
 
+    let mut cap = MAX_BATCH;
     let mut i = 0;
     'outer: while i < targets.len() {
         let &(node, produced) = targets[i].0;
@@ -272,7 +285,7 @@ pub fn run_batched(
         // batch boundary: its tie mutates the state every later target sees.
         let mut batch: Vec<(usize, NodeId, bool)> = vec![(i, node, produced)];
         let mut j = i + 1;
-        while j < targets.len() && batch.len() < 64 {
+        while j < targets.len() && batch.len() < cap {
             let &(n2, p2) = targets[j].0;
             if netlist.node(n2).is_input() || sim.tied().iter().any(|&(n, _)| n == n2) {
                 j += 1;
@@ -309,9 +322,14 @@ pub fn run_batched(
             outcome.targets_processed += 1;
             if trace.conflict().is_some() {
                 // New tie: later lanes of this batch would have seen it in the
-                // serial order — re-run them under the updated state.
+                // serial order — re-run them under the updated state, and
+                // shrink the next batch so a tie-dense stretch wastes fewer
+                // lanes per restart.
                 let horizon = target.horizon;
                 record_tie(sim, &mut outcome, n2, p2, horizon);
+                outcome.batch_restarts += 1;
+                outcome.wasted_lanes += batch.len() - k - 1;
+                cap = (cap / 2).max(MIN_BATCH);
                 i = ti + 1;
                 continue 'outer;
             }
@@ -326,10 +344,20 @@ pub fn run_batched(
                 &mut outcome,
             );
         }
+        // A conflict-free batch: the tie-dense stretch (if any) is over, widen
+        // again.
+        cap = (cap * 2).min(MAX_BATCH);
         i = j;
     }
     outcome
 }
+
+/// Widest packed batch (one lane per bit of the simulation words).
+const MAX_BATCH: usize = 64;
+
+/// Narrowest adaptive batch: keeps some word-parallelism even in a stretch
+/// where every second target proves a tie.
+const MIN_BATCH: usize = 4;
 
 fn tie_kind(horizon: usize) -> TieKind {
     if horizon == 0 {
@@ -516,6 +544,71 @@ mod tests {
             assert_eq!(scalar.targets_processed, batched.targets_processed);
             assert_eq!(scalar_sim.tied(), batched_sim.tied());
         }
+    }
+
+    /// `copies` independent instances of the tie-conflict motif: every
+    /// `g{i}` is provably tied to 1 through a simulation conflict, so the
+    /// target list is dense in ties and every tie restarts the batch.
+    fn tie_dense(copies: usize) -> Netlist {
+        let mut b = NetlistBuilder::new("tiedense");
+        for i in 0..copies {
+            let a = format!("a{i}");
+            let bb = format!("b{i}");
+            b.input(&a);
+            b.input(&bb);
+            b.gate(&format!("x{i}"), GateType::Not, &[&a]).unwrap();
+            b.gate(&format!("y{i}"), GateType::Not, &[&bb]).unwrap();
+            b.gate(&format!("z{i}"), GateType::And, &[&a, &bb]).unwrap();
+            b.gate(
+                &format!("g{i}"),
+                GateType::Or,
+                &[
+                    format!("x{i}").as_str(),
+                    format!("y{i}").as_str(),
+                    format!("z{i}").as_str(),
+                ],
+            )
+            .unwrap();
+            b.dff(&format!("f{i}"), &format!("g{i}")).unwrap();
+            b.output(&format!("f{i}")).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn adaptive_batching_matches_scalar_and_bounds_restart_waste() {
+        let netlist = tie_dense(12);
+        let stems = sla_netlist::stems::fanout_stems(&netlist);
+        let options = SimOptions::default();
+        let base = InjectionSim::new(&netlist).unwrap();
+        let single = single_node::run(&base, &stems, &options, None, false);
+
+        let mut scalar_sim = InjectionSim::new(&netlist).unwrap();
+        let scalar = run(&mut scalar_sim, &single.support, &options, None, 0, false);
+        let mut batched_sim = InjectionSim::new(&netlist).unwrap();
+        let batched = run_batched(&mut batched_sim, &single.support, &options, None, 0, false);
+
+        assert_eq!(scalar.implications, batched.implications);
+        assert_eq!(scalar.ties, batched.ties);
+        assert_eq!(scalar.targets_processed, batched.targets_processed);
+        assert_eq!(scalar_sim.tied(), batched_sim.tied());
+        assert_eq!(scalar.batch_restarts, 0, "scalar path never restarts");
+
+        // Every motif copy proves two ties via simulation conflicts (the OR
+        // gate and the flip-flop capturing it); each is one batch restart.
+        // Pinned: a change to the restart protocol (or to the target
+        // ordering) must be deliberate.
+        assert_eq!(batched.ties.len(), 24);
+        assert_eq!(batched.batch_restarts, 24);
+        // Adaptive shrinking caps the re-simulated suffix: a fixed 64-wide
+        // batch discards the whole remaining suffix on every restart (408
+        // lanes on this target list); shrinking to MIN_BATCH after the first
+        // few ties cuts that to 132.
+        assert_eq!(
+            batched.wasted_lanes, 132,
+            "{} lanes wasted over {} restarts",
+            batched.wasted_lanes, batched.batch_restarts
+        );
     }
 
     #[test]

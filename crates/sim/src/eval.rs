@@ -1,7 +1,7 @@
 //! Gate evaluation in three-valued logic and in 64-wide parallel-pattern form.
 
 use crate::value::Logic3;
-use sla_netlist::GateType;
+use sla_netlist::{GateType, NodeId};
 use std::ops::Not;
 
 /// Evaluates a combinational gate over three-valued fanin values.
@@ -58,6 +58,14 @@ pub fn eval_gate3(gate: GateType, fanins: impl Iterator<Item = Logic3>) -> Logic
         GateType::Const0 => Logic3::Zero,
         GateType::Const1 => Logic3::One,
     }
+}
+
+/// Evaluates a combinational gate whose fanin node ids are resolved through a
+/// node-indexed value slice (one time frame). Shared by the frame evaluator
+/// and the event-driven incremental simulator so both apply identical rules.
+#[inline]
+pub fn eval_gate3_at(gate: GateType, fanins: &[NodeId], values: &[Logic3]) -> Logic3 {
+    eval_gate3(gate, fanins.iter().map(|f| values[f.index()]))
 }
 
 /// Evaluates a combinational gate over 64 parallel two-valued patterns packed

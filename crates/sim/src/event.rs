@@ -1,0 +1,430 @@
+//! Event-driven incremental multi-time-frame simulation.
+//!
+//! [`EventSim`] maintains the three-valued values of an iterative logic array
+//! (`window` frames × all nodes) under incremental primary-input assignments.
+//! Instead of re-simulating the whole window after every assignment, only the
+//! affected cone is re-evaluated: a levelized event queue recomputes fanouts
+//! of changed values in topological order and crosses a flip-flop boundary
+//! into the next frame only when the flip-flop's data input actually changed.
+//! Every value write is recorded on a trail, so a branch-and-bound search can
+//! undo to any earlier [`EventSim::mark`] in time proportional to the number
+//! of changes, mirroring the trail-based undo of the incremental implication
+//! layer in `sla-atpg` (the two compose on the same decide/backtrack
+//! protocol).
+//!
+//! The machine optionally carries a single stuck-at [`Fault`] with the exact
+//! semantics of the ATPG test generator's faulty machine: the faulted output
+//! line is held at the stuck value in every frame, and an input-pin fault is
+//! applied when evaluating the faulted gate. A good machine is simply an
+//! `EventSim` without a fault.
+//!
+//! Along a decision path three-valued simulation is monotone — assignments
+//! only refine `X` to a binary value — so the change list of an assignment is
+//! exactly the set of values that *became binary*. That event stream is what
+//! D-frontier maintenance and the incremental implication layer consume.
+
+use crate::eval::{eval_gate3, eval_gate3_at};
+use crate::fault::{Fault, FaultSite};
+use crate::value::Logic3;
+use crate::Result;
+use sla_netlist::levelize::{levelize, Levelization};
+use sla_netlist::{Netlist, NodeId, NodeKind};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Event-driven, trail-undoable simulation of `window` time frames.
+#[derive(Debug, Clone)]
+pub struct EventSim<'a> {
+    netlist: &'a Netlist,
+    window: usize,
+    num_nodes: usize,
+    fault: Option<Fault>,
+    /// Per-node processing priority within a frame: frame inputs (primary
+    /// inputs and sequential elements) are 0, gates follow the levelized
+    /// order. Events are drained in `(frame, priority)` order, so every node
+    /// is recomputed after all of its same-frame fanins.
+    priority: Vec<u32>,
+    /// Flat `(frame * num_nodes + node)` values.
+    values: Vec<Logic3>,
+    /// Deduplication flags for the event queue, per slot.
+    queued: Vec<bool>,
+    /// Pending events: `(frame, priority, node)`, drained smallest-first.
+    heap: BinaryHeap<Reverse<(u32, u32, u32)>>,
+    /// Undo trail of `(slot, previous value)` pairs.
+    trail: Vec<(u32, Logic3)>,
+    /// Slots changed by the most recent [`EventSim::assign`] (after
+    /// construction: the slots holding a binary initial value).
+    changed: Vec<u32>,
+}
+
+impl<'a> EventSim<'a> {
+    /// Builds a machine over `window` frames, levelizing the netlist.
+    ///
+    /// All primary inputs start unassigned (`X`), the initial state is `X`,
+    /// and the one-time full evaluation fills in everything that is binary
+    /// regardless of assignments (constants, stuck fault sites and their
+    /// cones). [`EventSim::changed`] holds those initially binary slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns a levelization error if the combinational logic is cyclic.
+    pub fn new(netlist: &'a Netlist, window: usize, fault: Option<Fault>) -> Result<Self> {
+        let levels = levelize(netlist)?;
+        Ok(EventSim::with_levels(netlist, &levels, window, fault))
+    }
+
+    /// Builds a machine reusing a precomputed [`Levelization`] (the hot path
+    /// for callers that open many windows over the same netlist).
+    pub fn with_levels(
+        netlist: &'a Netlist,
+        levels: &Levelization,
+        window: usize,
+        fault: Option<Fault>,
+    ) -> Self {
+        let num_nodes = netlist.num_nodes();
+        let mut priority = vec![0u32; num_nodes];
+        for (i, &id) in levels.order().iter().enumerate() {
+            priority[id.index()] = i as u32 + 1;
+        }
+        let mut sim = EventSim {
+            netlist,
+            window,
+            num_nodes,
+            fault,
+            priority,
+            values: vec![Logic3::X; window * num_nodes],
+            queued: vec![false; window * num_nodes],
+            heap: BinaryHeap::new(),
+            trail: Vec::new(),
+            changed: Vec::new(),
+        };
+        sim.init(levels);
+        sim
+    }
+
+    /// One-time from-scratch evaluation of the whole window (the base state
+    /// the trail never unwinds past).
+    fn init(&mut self, levels: &Levelization) {
+        for frame in 0..self.window {
+            let base = frame * self.num_nodes;
+            for &pi in self.netlist.inputs() {
+                self.values[base + pi.index()] = self.frame_input_value(pi);
+            }
+            for s in self.netlist.sequential_elements() {
+                self.values[base + s.index()] = self.compute(frame, s);
+            }
+            for &id in levels.order() {
+                self.values[base + id.index()] = self.compute(frame, id);
+            }
+        }
+        self.changed = (0..self.values.len())
+            .filter(|&slot| self.values[slot].is_binary())
+            .map(|slot| slot as u32)
+            .collect();
+    }
+
+    /// The value an unassigned primary input presents (stuck faults hold the
+    /// line in every frame).
+    fn frame_input_value(&self, pi: NodeId) -> Logic3 {
+        match self.fault {
+            Some(f) if f.site == FaultSite::Output(pi) => Logic3::from_bool(f.stuck_at),
+            _ => Logic3::X,
+        }
+    }
+
+    /// Recomputes the value of `node` in `frame` from its current fanin
+    /// values, applying the fault semantics.
+    fn compute(&self, frame: usize, id: NodeId) -> Logic3 {
+        if let Some(f) = self.fault {
+            if f.site == FaultSite::Output(id) {
+                return Logic3::from_bool(f.stuck_at);
+            }
+        }
+        let node = self.netlist.node(id);
+        let base = frame * self.num_nodes;
+        match node.kind {
+            // Inputs hold their assigned value; they are never event targets.
+            NodeKind::Input => self.values[base + id.index()],
+            NodeKind::Seq(_) => {
+                if frame == 0 {
+                    Logic3::X // the power-up state is unknown
+                } else {
+                    self.values[(frame - 1) * self.num_nodes + node.fanins[0].index()]
+                }
+            }
+            NodeKind::Gate(gate) => match self.fault {
+                Some(Fault {
+                    site: FaultSite::Input { gate: fg, pin },
+                    stuck_at,
+                }) if fg == id => eval_gate3(
+                    gate,
+                    node.fanins.iter().enumerate().map(|(p, d)| {
+                        if p == pin {
+                            Logic3::from_bool(stuck_at)
+                        } else {
+                            self.values[base + d.index()]
+                        }
+                    }),
+                ),
+                _ => eval_gate3_at(
+                    gate,
+                    &node.fanins,
+                    &self.values[base..base + self.num_nodes],
+                ),
+            },
+        }
+    }
+
+    /// Assigns primary input `pi` in `frame` and propagates the change through
+    /// the affected cone (and across flip-flops into later frames).
+    /// [`EventSim::changed`] afterwards lists every slot that became binary.
+    ///
+    /// The slot must currently be unassigned (`X`); a flipped decision must
+    /// first be retracted with [`EventSim::undo_to`].
+    pub fn assign(&mut self, frame: usize, pi: NodeId, value: bool) {
+        debug_assert!(self.netlist.node(pi).is_input(), "assignments target PIs");
+        self.changed.clear();
+        let slot = frame * self.num_nodes + pi.index();
+        // A stuck fault on the input line shadows the assignment, exactly as
+        // in the from-scratch reference (the override wins).
+        let effective = match self.fault {
+            Some(f) if f.site == FaultSite::Output(pi) => Logic3::from_bool(f.stuck_at),
+            _ => Logic3::from_bool(value),
+        };
+        if self.values[slot] == effective {
+            return;
+        }
+        debug_assert_eq!(self.values[slot], Logic3::X, "assignment over a binary PI");
+        self.trail.push((slot as u32, self.values[slot]));
+        self.values[slot] = effective;
+        self.changed.push(slot as u32);
+        self.schedule_fanouts(frame, pi);
+        self.drain();
+    }
+
+    fn schedule_fanouts(&mut self, frame: usize, id: NodeId) {
+        for i in 0..self.netlist.fanouts(id).len() {
+            let fo = self.netlist.fanouts(id)[i];
+            // A sequential fanout samples this value as its next state: the
+            // event crosses the flip-flop boundary into the next frame.
+            let target_frame = if self.netlist.node(fo).is_sequential() {
+                frame + 1
+            } else {
+                frame
+            };
+            if target_frame < self.window {
+                let slot = target_frame * self.num_nodes + fo.index();
+                if !self.queued[slot] {
+                    self.queued[slot] = true;
+                    self.heap.push(Reverse((
+                        target_frame as u32,
+                        self.priority[fo.index()],
+                        fo.0,
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Drains the event queue in `(frame, level)` order. Each slot is
+    /// recomputed at most once: events only ever flow to strictly larger
+    /// `(frame, priority)` keys.
+    fn drain(&mut self) {
+        while let Some(Reverse((frame, _, nidx))) = self.heap.pop() {
+            let frame = frame as usize;
+            let id = NodeId(nidx);
+            let slot = frame * self.num_nodes + id.index();
+            self.queued[slot] = false;
+            let new = self.compute(frame, id);
+            if new == self.values[slot] {
+                continue;
+            }
+            self.trail.push((slot as u32, self.values[slot]));
+            self.values[slot] = new;
+            self.changed.push(slot as u32);
+            self.schedule_fanouts(frame, id);
+        }
+    }
+
+    /// Current trail position; pass to [`EventSim::undo_to`] to return here.
+    pub fn mark(&self) -> usize {
+        self.trail.len()
+    }
+
+    /// Unwinds every value change recorded after `mark` (newest first).
+    pub fn undo_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let (slot, prev) = self.trail.pop().expect("trail entry");
+            self.values[slot as usize] = prev;
+        }
+    }
+
+    /// Number of frames in the window.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Number of nodes per frame.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The fault injected into this machine, if any.
+    pub fn fault(&self) -> Option<&Fault> {
+        self.fault.as_ref()
+    }
+
+    /// Value of `node` in `frame`.
+    #[inline]
+    pub fn value(&self, frame: usize, node: NodeId) -> Logic3 {
+        self.values[frame * self.num_nodes + node.index()]
+    }
+
+    /// All values of one frame, indexed by node id.
+    pub fn frame(&self, frame: usize) -> &[Logic3] {
+        &self.values[frame * self.num_nodes..(frame + 1) * self.num_nodes]
+    }
+
+    /// The whole window as one flat `(frame * num_nodes + node)` slice.
+    pub fn values(&self) -> &[Logic3] {
+        &self.values
+    }
+
+    /// Slots (`frame * num_nodes + node`) that became binary in the most
+    /// recent [`EventSim::assign`] call — or, straight after construction, the
+    /// slots binary in the initial evaluation. Stale after
+    /// [`EventSim::undo_to`].
+    pub fn changed(&self) -> &[u32] {
+        &self.changed
+    }
+
+    /// The window as per-frame vectors (convenience for tests and the
+    /// from-scratch reference comparisons).
+    pub fn to_frames(&self) -> Vec<Vec<Logic3>> {
+        (0..self.window).map(|t| self.frame(t).to_vec()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sla_netlist::{GateType, NetlistBuilder};
+
+    /// Sequential circuit: q captures NAND(a, b), o = NOT q.
+    fn pipelined() -> Netlist {
+        let mut b = NetlistBuilder::new("pipe");
+        b.input("a");
+        b.input("b");
+        b.gate("g", GateType::Nand, &["a", "b"]).unwrap();
+        b.dff("q", "g").unwrap();
+        b.gate("o", GateType::Not, &["q"]).unwrap();
+        b.output("o").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn assignments_propagate_across_frames() {
+        let n = pipelined();
+        let mut sim = EventSim::new(&n, 3, None).unwrap();
+        let a = n.require("a").unwrap();
+        let b = n.require("b").unwrap();
+        let q = n.require("q").unwrap();
+        let o = n.require("o").unwrap();
+        assert_eq!(sim.value(1, q), Logic3::X);
+        sim.assign(0, a, true);
+        sim.assign(0, b, true);
+        // g = NAND(1,1) = 0 in frame 0, captured by q in frame 1, o = 1.
+        assert_eq!(sim.value(1, q), Logic3::Zero);
+        assert_eq!(sim.value(1, o), Logic3::One);
+        // Frame 2 q depends on frame-1 g which is still X.
+        assert_eq!(sim.value(2, q), Logic3::X);
+    }
+
+    #[test]
+    fn undo_restores_previous_values() {
+        let n = pipelined();
+        let mut sim = EventSim::new(&n, 2, None).unwrap();
+        let a = n.require("a").unwrap();
+        let b = n.require("b").unwrap();
+        let q = n.require("q").unwrap();
+        let mark = sim.mark();
+        sim.assign(0, a, true);
+        sim.assign(0, b, true);
+        assert_eq!(sim.value(1, q), Logic3::Zero);
+        sim.undo_to(mark);
+        assert_eq!(sim.value(0, a), Logic3::X);
+        assert_eq!(sim.value(1, q), Logic3::X);
+        // Re-deciding after the undo works.
+        sim.assign(0, a, false);
+        assert_eq!(sim.value(1, q), Logic3::One, "NAND with a controlling 0");
+    }
+
+    #[test]
+    fn changed_lists_newly_binary_slots() {
+        let n = pipelined();
+        let mut sim = EventSim::new(&n, 2, None).unwrap();
+        let a = n.require("a").unwrap();
+        sim.assign(0, a, false);
+        let g = n.require("g").unwrap();
+        let q = n.require("q").unwrap();
+        let nn = n.num_nodes();
+        let changed: Vec<usize> = sim.changed().iter().map(|&s| s as usize).collect();
+        assert!(changed.contains(&a.index()));
+        assert!(changed.contains(&g.index()), "NAND forced to 1");
+        assert!(changed.contains(&(nn + q.index())), "captured next frame");
+        for &slot in sim.changed() {
+            assert!(sim.values()[slot as usize].is_binary());
+        }
+    }
+
+    #[test]
+    fn output_fault_holds_the_line_in_every_frame() {
+        let n = pipelined();
+        let g = n.require("g").unwrap();
+        let q = n.require("q").unwrap();
+        let fault = Fault::output(g, true);
+        let mut sim = EventSim::new(&n, 2, Some(fault)).unwrap();
+        let a = n.require("a").unwrap();
+        let b = n.require("b").unwrap();
+        sim.assign(0, a, true);
+        sim.assign(0, b, true);
+        // Good value would be 0; the stuck line stays 1, q captures 1.
+        assert_eq!(sim.value(0, g), Logic3::One);
+        assert_eq!(sim.value(1, q), Logic3::One);
+    }
+
+    #[test]
+    fn input_pin_fault_applies_only_to_the_faulted_gate() {
+        let mut b = NetlistBuilder::new("pinfault");
+        b.input("a");
+        b.gate("g", GateType::And, &["a", "a"]).unwrap();
+        b.gate("h", GateType::Buf, &["a"]).unwrap();
+        b.output("g").unwrap();
+        b.output("h").unwrap();
+        let n = b.build().unwrap();
+        let g = n.require("g").unwrap();
+        let mut sim = EventSim::new(&n, 1, Some(Fault::input(g, 0, false))).unwrap();
+        let a = n.require("a").unwrap();
+        sim.assign(0, a, true);
+        // Pin 0 of g reads the stuck 0; the branch to h is healthy.
+        assert_eq!(sim.value(0, g), Logic3::Zero);
+        assert_eq!(sim.value(0, n.require("h").unwrap()), Logic3::One);
+    }
+
+    #[test]
+    fn initial_binaries_cover_constants() {
+        let mut b = NetlistBuilder::new("consts");
+        b.input("a");
+        b.gate("one", GateType::Const1, &[]).unwrap();
+        b.gate("g", GateType::And, &["a", "one"]).unwrap();
+        b.output("g").unwrap();
+        let n = b.build().unwrap();
+        let sim = EventSim::new(&n, 2, None).unwrap();
+        let one = n.require("one").unwrap();
+        assert_eq!(sim.value(0, one), Logic3::One);
+        assert_eq!(sim.value(1, one), Logic3::One);
+        let nn = n.num_nodes();
+        assert!(sim.changed().contains(&(one.index() as u32)));
+        assert!(sim.changed().contains(&((nn + one.index()) as u32)));
+    }
+}

@@ -1,7 +1,7 @@
 //! Single-frame evaluation of the combinational logic.
 
 use crate::equiv::EquivClasses;
-use crate::eval::eval_gate3;
+use crate::eval::eval_gate3_at;
 use crate::value::Logic3;
 use crate::Result;
 use sla_netlist::levelize::{levelize, Levelization};
@@ -107,7 +107,7 @@ impl<'a> CombEvaluator<'a> {
             let NodeKind::Gate(gate) = node.kind else {
                 continue;
             };
-            let computed = eval_gate3(gate, node.fanins.iter().map(|f| values[f.index()]));
+            let computed = eval_gate3_at(gate, &node.fanins, values);
             let idx = id.index();
             if forced[idx] {
                 if computed.is_binary()

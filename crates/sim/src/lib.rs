@@ -12,6 +12,9 @@
 //! * [`CombEvaluator`] — single-frame evaluation of the combinational logic in
 //!   levelized order, with forced (injected or tied) nodes and optional
 //!   gate-equivalence value forwarding,
+//! * [`EventSim`] — event-driven incremental multi-frame simulation with
+//!   trail-based undo, the per-decision backbone of the ATPG search loop
+//!   (only the affected cone is re-evaluated after an assignment),
 //! * [`InjectionSim`] — the forward multi-time-frame simulator the paper's
 //!   learning technique is built on: per-frame value injections, sequential
 //!   element propagation rules (multi-port latches, partial set/reset, clock
@@ -50,6 +53,7 @@
 #[path = "equiv_impl.rs"]
 pub mod equiv;
 pub mod eval;
+pub mod event;
 #[path = "fault_impl.rs"]
 pub mod fault;
 mod fault_sim;
@@ -60,7 +64,8 @@ pub mod packed;
 mod value;
 
 pub use equiv::{find_equivalences, EquivClasses, EquivConfig};
-pub use eval::{eval_gate3, eval_gate64};
+pub use eval::{eval_gate3, eval_gate3_at, eval_gate64};
+pub use event::EventSim;
 pub use fault::{collapsed_fault_list, full_fault_list, Fault, FaultSite};
 pub use fault_sim::{FaultSimulator, TestSequence};
 pub use frame::CombEvaluator;

@@ -108,6 +108,7 @@ impl std::ops::Not for PackedWord {
 /// Evaluates a combinational gate over packed three-valued fanins, 64 lanes at
 /// a time. Lane *i* of the result equals
 /// [`eval_gate3`](crate::eval::eval_gate3) applied to lane *i* of the fanins.
+#[inline]
 pub fn eval_gate3x64(gate: GateType, fanins: &[PackedWord]) -> PackedWord {
     let ones = fanins.iter().map(|w| w.one);
     let zeros = fanins.iter().map(|w| w.zero);

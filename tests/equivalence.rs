@@ -139,9 +139,14 @@ fn batched_learning_phases_equal_scalar_reference_on_named_circuits() {
     }
 }
 
-/// On the retimed circuit the three learning modes classified every fault
-/// identically (and spent identical backtracks) before the rewrite; the
-/// incremental layer must preserve that.
+/// On the retimed circuit the three learning modes classify every fault
+/// identically and spend identical backtracks — every invariant the
+/// generator creates is re-derivable by plain three-valued window simulation
+/// the moment its supporting values are assigned, so learned hints always
+/// land on already-binary (agreeing) nodes and can neither conflict nor cut
+/// a backtrace. This pins that structural property (the contrast case to
+/// `tests/table5_workload.rs`, whose circuit is built so simulation *loses*
+/// the invariants and learning strictly prunes).
 #[test]
 fn learning_modes_classify_retimed_faults_identically() {
     let netlist = retimed_circuit(&RetimedConfig {

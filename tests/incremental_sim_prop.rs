@@ -1,0 +1,279 @@
+//! Property tests for the event-driven incremental good/faulty machines: after
+//! arbitrary decide / flip / backtrack scripts, the incrementally maintained
+//! [`SearchMachines`] state must be bit-exact against the retained from-scratch
+//! reference (`TestGenerator::simulate_reference`) — values of both machines,
+//! the D-frontier, and the detected flag — and the event-fed incremental
+//! implication layer must equal a from-scratch rebuild over the same values.
+
+use proptest::prelude::*;
+use seqlearn::atpg::{
+    AtpgConfig, ImplicationLayer, IncrementalLayer, LearnedData, LearningMode, LiteralAdjacency,
+    MachineMark, SearchMachines, TestGenerator,
+};
+use seqlearn::circuits::{synthesize, SynthConfig};
+use seqlearn::learn::{Implication, ImplicationDb, Literal};
+use seqlearn::netlist::levelize::levelize;
+use seqlearn::netlist::{Netlist, NodeId, NodeKind};
+use seqlearn::sim::{full_fault_list, Fault, FaultSite, Logic3};
+use std::collections::HashMap;
+
+fn small_synth(seed: u64, flip_flops: usize, gates: usize) -> Netlist {
+    synthesize(&SynthConfig {
+        name: format!("esim{seed}"),
+        inputs: 4,
+        outputs: 3,
+        flip_flops,
+        gates,
+        max_fanin: 3,
+        seed,
+    })
+}
+
+struct Bits(u64);
+
+impl Bits {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+}
+
+fn random_db(netlist: &Netlist, bits: &mut Bits, relations: usize) -> ImplicationDb {
+    let n = netlist.num_nodes() as u64;
+    let mut db = ImplicationDb::new();
+    for _ in 0..relations {
+        let a = NodeId((bits.next() % n) as u32);
+        let b = NodeId((bits.next() % n) as u32);
+        if a == b {
+            continue;
+        }
+        db.add(
+            Implication::new(
+                Literal::new(a, bits.next().is_multiple_of(2)),
+                Literal::new(b, bits.next().is_multiple_of(2)),
+            ),
+            bits.next().is_multiple_of(2),
+        );
+    }
+    db
+}
+
+/// `true` when the two values carry a fault effect (binary and opposite).
+fn is_d(good: Logic3, faulty: Logic3) -> bool {
+    matches!((good.to_bool(), faulty.to_bool()), (Some(a), Some(b)) if a != b)
+}
+
+/// Reference detected flag: some PO in some frame shows the effect.
+fn reference_detected(netlist: &Netlist, good: &[Vec<Logic3>], faulty: &[Vec<Logic3>]) -> bool {
+    good.iter().zip(faulty).any(|(g, f)| {
+        netlist
+            .outputs()
+            .iter()
+            .any(|po| is_d(g[po.index()], f[po.index()]))
+    })
+}
+
+/// Reference D-frontier over from-scratch values: every `(frame, gate)` whose
+/// output shows no effect while some input carries one (the faulted pin rule
+/// included), sorted for set comparison.
+fn reference_frontier(
+    netlist: &Netlist,
+    fault: &Fault,
+    good: &[Vec<Logic3>],
+    faulty: &[Vec<Logic3>],
+) -> Vec<(usize, NodeId)> {
+    let mut frontier = Vec::new();
+    for (t, (g, f)) in good.iter().zip(faulty).enumerate() {
+        for (id, node) in netlist.iter() {
+            let NodeKind::Gate(_) = node.kind else {
+                continue;
+            };
+            if is_d(g[id.index()], f[id.index()]) {
+                continue;
+            }
+            let has_d_input = node.fanins.iter().enumerate().any(|(pin, &fi)| {
+                if fault.site == (FaultSite::Input { gate: id, pin }) {
+                    matches!(g[fi.index()].to_bool(), Some(b) if b != fault.stuck_at)
+                } else {
+                    is_d(g[fi.index()], f[fi.index()])
+                }
+            });
+            if has_d_input {
+                frontier.push((t, id));
+            }
+        }
+    }
+    frontier.sort_unstable();
+    frontier
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Decision {
+    frame: usize,
+    pi: NodeId,
+    value: bool,
+    flipped: bool,
+    mark: MachineMark,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Drive the exact decide / flip / backtrack protocol of the test
+    /// generator with random choices and a random fault; at every search
+    /// point the event-driven machines must agree with the from-scratch
+    /// reference on every value of both machines, on the D-frontier and on
+    /// the detected flag — and the event-fed implication layer must equal a
+    /// from-scratch rebuild.
+    #[test]
+    fn event_driven_machines_equal_from_scratch_reference(
+        seed in 0u64..500,
+        flip_flops in 1usize..6,
+        gates in 6usize..30,
+        relations in 0usize..30,
+        window in 1usize..5,
+        steps in 4usize..40,
+    ) {
+        let netlist = small_synth(seed, flip_flops, gates);
+        let levels = levelize(&netlist).unwrap();
+        let mut bits = Bits(seed.wrapping_mul(0x9e3779b97f4a7c15) + 1);
+        let faults = full_fault_list(&netlist);
+        let fault = faults[(bits.next() % faults.len() as u64) as usize];
+
+        // The generator only provides the retained reference path here.
+        let reference_gen =
+            TestGenerator::new(&netlist, AtpgConfig::default(), &LearnedData::new()).unwrap();
+
+        let db = random_db(&netlist, &mut bits, relations);
+        let adj = LiteralAdjacency::build(&db, netlist.num_nodes());
+        let mode = if seed % 2 == 0 {
+            LearningMode::KnownValue
+        } else {
+            LearningMode::ForbiddenValue
+        };
+
+        let n = netlist.num_nodes();
+        let pis = netlist.inputs().to_vec();
+        let mut machines = SearchMachines::new(&netlist, &levels, window, fault);
+        let mut layer = IncrementalLayer::new(&adj, mode, window, n);
+        let mut conflict =
+            layer.update_events(0, machines.good().values(), machines.good().changed());
+        let mut decisions: Vec<Decision> = Vec::new();
+
+        for _ in 0..steps {
+            // From-scratch reference over the current assignments.
+            let assigned: HashMap<(usize, u32), bool> = decisions
+                .iter()
+                .map(|d| ((d.frame, d.pi.0), d.value))
+                .collect();
+            let (good, faulty) = reference_gen.simulate_reference(&fault, window, &assigned);
+
+            // Values of both machines, every frame, every node.
+            for t in 0..window {
+                prop_assert_eq!(
+                    machines.good().frame(t),
+                    good[t].as_slice(),
+                    "good machine diverged in frame {} (seed {}, {} decisions)",
+                    t, seed, decisions.len()
+                );
+                prop_assert_eq!(
+                    machines.faulty().frame(t),
+                    faulty[t].as_slice(),
+                    "faulty machine diverged in frame {} (seed {}, {} decisions)",
+                    t, seed, decisions.len()
+                );
+            }
+
+            // Detected flag and D-frontier.
+            prop_assert_eq!(
+                machines.detected(),
+                reference_detected(&netlist, &good, &faulty),
+                "detected flag diverged (seed {})", seed
+            );
+            let mut incremental_frontier = machines.d_frontier();
+            incremental_frontier.sort_unstable();
+            prop_assert_eq!(
+                incremental_frontier,
+                reference_frontier(&netlist, &fault, &good, &faulty),
+                "D-frontier diverged (seed {})", seed
+            );
+
+            // Event-fed layer vs from-scratch rebuild over the same values.
+            let rebuilt = ImplicationLayer::build(&adj, mode, &good);
+            prop_assert_eq!(conflict, rebuilt.conflict, "conflict flag diverged (seed {})", seed);
+            if !conflict {
+                for (frame, values) in good.iter().enumerate() {
+                    for (idx, v) in values.iter().enumerate() {
+                        if *v == Logic3::X {
+                            let node = NodeId(idx as u32);
+                            prop_assert_eq!(
+                                layer.hint(frame, node),
+                                rebuilt.hint(frame, node),
+                                "hint diverged at frame {} node {} (seed {})",
+                                frame, node, seed
+                            );
+                        }
+                    }
+                }
+            }
+
+            // Random next step, mirroring the search loop: a conflict forces
+            // a backtrack; otherwise decide or backtrack at random.
+            let backtrack = conflict || (bits.next().is_multiple_of(3) && !decisions.is_empty());
+            if backtrack {
+                let mut flipped_some = false;
+                while let Some(mut d) = decisions.pop() {
+                    if !d.flipped {
+                        machines.undo_to(d.mark);
+                        d.value = !d.value;
+                        d.flipped = true;
+                        machines.assign(d.frame, d.pi, d.value);
+                        decisions.push(d);
+                        layer.pop_to(decisions.len());
+                        conflict = layer.update_events(
+                            decisions.len(),
+                            machines.good().values(),
+                            machines.good().changed(),
+                        );
+                        flipped_some = true;
+                        break;
+                    }
+                }
+                if !flipped_some {
+                    break; // exhausted
+                }
+            } else {
+                // Pick an unassigned (frame, pi) slot whose good value is
+                // still X (the only slots the search ever decides on).
+                let mut slot = None;
+                for _ in 0..8 {
+                    let frame = (bits.next() % window as u64) as usize;
+                    let pi = pis[(bits.next() % pis.len() as u64) as usize];
+                    if machines.good().value(frame, pi) == Logic3::X {
+                        slot = Some((frame, pi));
+                        break;
+                    }
+                }
+                let Some((frame, pi)) = slot else { break };
+                let mark = machines.mark();
+                let value = bits.next().is_multiple_of(2);
+                machines.assign(frame, pi, value);
+                decisions.push(Decision {
+                    frame,
+                    pi,
+                    value,
+                    flipped: false,
+                    mark,
+                });
+                conflict = layer.update_events(
+                    decisions.len(),
+                    machines.good().values(),
+                    machines.good().changed(),
+                );
+            }
+        }
+    }
+}
