@@ -3,10 +3,11 @@
 
 use crate::config::AtpgConfig;
 use crate::learned::LearnedData;
-use crate::tgen::{GenOutcome, TestGenerator};
+use crate::tgen::{GenOutcome, GenResult, TestGenerator};
 use crate::Result;
 use sla_netlist::Netlist;
 use sla_sim::{Fault, FaultSimulator, FaultSite, TestSequence};
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 /// Final classification of a fault after the ATPG run.
@@ -119,7 +120,32 @@ impl<'a> AtpgEngine<'a> {
 
     /// Runs test generation over `faults` and returns per-fault statuses,
     /// the generated sequences and aggregate statistics.
+    ///
+    /// The per-fault searches are sharded across worker threads; the count
+    /// comes from the `SLA_THREADS` environment variable (default: the
+    /// machine's available parallelism). Per-fault verdicts, backtrack and
+    /// decision counts, dropped-fault sets and generated sequences are
+    /// **bit-identical** for every thread count — `SLA_THREADS=1` is the
+    /// exact legacy serial path, and [`AtpgEngine::run_with_threads`] pins
+    /// the count explicitly.
     pub fn run(&self, faults: &[Fault]) -> AtpgRun {
+        self.run_with_threads(faults, sla_par::thread_count())
+    }
+
+    /// [`AtpgEngine::run`] with an explicit worker-thread count.
+    ///
+    /// Faults are coupled only through fault dropping: the sequence generated
+    /// for fault *i* may classify later faults without search, and whether
+    /// fault *j* is searched at all depends on every earlier verdict. The
+    /// sharded run therefore generates **speculatively in waves**: the next
+    /// few unclassified faults are searched in parallel (test generation is a
+    /// pure function of one fault), and the results are merged strictly in
+    /// fault order, replaying the serial drop protocol — a speculative result
+    /// for a fault that an earlier-merged sequence drops is discarded, and
+    /// its backtracks are not counted, exactly as if it had never been
+    /// searched. The wave depth adapts to the observed drop density so
+    /// drop-heavy fault lists do not drown in wasted speculation.
+    pub fn run_with_threads(&self, faults: &[Fault], threads: usize) -> AtpgRun {
         let start = Instant::now();
         let mut status: Vec<Option<FaultStatus>> = vec![None; faults.len()];
         let mut stats = AtpgStats {
@@ -144,41 +170,97 @@ impl<'a> AtpgEngine<'a> {
             }
         }
 
-        let generator = TestGenerator::new(self.netlist, self.config, &self.learned)
-            .expect("netlist already levelized in new()");
         let fault_sim =
             FaultSimulator::new(self.netlist).expect("netlist already levelized in new()");
         let mut sequences = Vec::new();
 
-        for i in 0..faults.len() {
-            if status[i].is_some() {
-                continue;
+        if threads <= 1 {
+            let generator = TestGenerator::new(self.netlist, self.config, &self.learned)
+                .expect("netlist already levelized in new()");
+            for i in 0..faults.len() {
+                if status[i].is_some() {
+                    continue;
+                }
+                let result = generator.generate(&faults[i]);
+                self.absorb(
+                    i,
+                    result,
+                    faults,
+                    &fault_sim,
+                    &mut status,
+                    &mut stats,
+                    &mut sequences,
+                );
             }
-            let result = generator.generate(&faults[i]);
-            stats.backtracks += result.backtracks;
-            stats.decisions += result.decisions;
-            match result.outcome {
-                GenOutcome::Detected(sequence) => {
-                    status[i] = Some(FaultStatus::Detected);
-                    if self.config.fault_dropping {
-                        // Drop every remaining fault the new sequence detects.
-                        let remaining: Vec<usize> = (i + 1..faults.len())
-                            .filter(|&j| status[j].is_none())
-                            .collect();
-                        let targets: Vec<Fault> = remaining.iter().map(|&j| faults[j]).collect();
-                        let hit = fault_sim.detected_faults(&targets, &sequence);
-                        for (&j, &detected) in remaining.iter().zip(&hit) {
-                            if detected {
-                                status[j] = Some(FaultStatus::Detected);
+        } else {
+            sla_par::with_pool(
+                threads,
+                |_worker| {
+                    TestGenerator::new(self.netlist, self.config, &self.learned)
+                        .expect("netlist already levelized in new()")
+                },
+                |generator, idx: usize| (idx, generator.generate(&faults[idx])),
+                |pool| {
+                    // Speculation depth: at least one fault per worker; grows
+                    // on drop-free waves, shrinks when a quarter of a wave
+                    // was dropped by its own earlier faults (their
+                    // generations were wasted). All of this is a pure
+                    // function of merged state, so wave boundaries — which
+                    // affect only performance — are deterministic too.
+                    let mut wave_cap = threads;
+                    let mut next = 0usize;
+                    let mut results: HashMap<usize, GenResult> = HashMap::new();
+                    while next < faults.len() {
+                        let mut wave = Vec::new();
+                        let mut scan = next;
+                        while wave.len() < wave_cap && scan < faults.len() {
+                            if status[scan].is_none() {
+                                wave.push(scan);
                             }
+                            scan += 1;
+                        }
+                        if wave.is_empty() {
+                            next = scan;
+                            continue;
+                        }
+                        for &idx in &wave {
+                            pool.submit(idx);
+                        }
+                        for _ in 0..wave.len() {
+                            let (idx, result) = pool.recv();
+                            results.insert(idx, result);
+                        }
+                        // Ordered merge: strictly ascending fault index,
+                        // replaying the serial loop (including dropping).
+                        let mut discarded = 0usize;
+                        for &idx in &wave {
+                            let result = results.remove(&idx).expect("wave result");
+                            if status[idx].is_some() {
+                                // Dropped by an earlier-merged sequence of
+                                // this very wave: the serial run never
+                                // searched this fault — discard.
+                                discarded += 1;
+                                continue;
+                            }
+                            self.absorb(
+                                idx,
+                                result,
+                                faults,
+                                &fault_sim,
+                                &mut status,
+                                &mut stats,
+                                &mut sequences,
+                            );
+                        }
+                        next = scan;
+                        if discarded * 4 >= wave.len() {
+                            wave_cap = (wave_cap / 2).max(threads);
+                        } else if discarded == 0 {
+                            wave_cap = (wave_cap * 2).min(8 * threads);
                         }
                     }
-                    stats.test_vectors += sequence.len();
-                    sequences.push(sequence);
-                }
-                GenOutcome::Untestable => status[i] = Some(FaultStatus::Untestable),
-                GenOutcome::Aborted => status[i] = Some(FaultStatus::Aborted),
-            }
+                },
+            );
         }
 
         let status: Vec<FaultStatus> = status
@@ -204,6 +286,46 @@ impl<'a> AtpgEngine<'a> {
             status,
             sequences,
             stats,
+        }
+    }
+
+    /// Merges the generation result of fault `i` into the run state — the
+    /// loop body shared verbatim by the serial path and the in-order merge of
+    /// the sharded path (which is what keeps the two bit-identical).
+    #[allow(clippy::too_many_arguments)]
+    fn absorb(
+        &self,
+        i: usize,
+        result: GenResult,
+        faults: &[Fault],
+        fault_sim: &FaultSimulator<'_>,
+        status: &mut [Option<FaultStatus>],
+        stats: &mut AtpgStats,
+        sequences: &mut Vec<TestSequence>,
+    ) {
+        stats.backtracks += result.backtracks;
+        stats.decisions += result.decisions;
+        match result.outcome {
+            GenOutcome::Detected(sequence) => {
+                status[i] = Some(FaultStatus::Detected);
+                if self.config.fault_dropping {
+                    // Drop every remaining fault the new sequence detects.
+                    let remaining: Vec<usize> = (i + 1..faults.len())
+                        .filter(|&j| status[j].is_none())
+                        .collect();
+                    let targets: Vec<Fault> = remaining.iter().map(|&j| faults[j]).collect();
+                    let hit = fault_sim.detected_faults(&targets, &sequence);
+                    for (&j, &detected) in remaining.iter().zip(&hit) {
+                        if detected {
+                            status[j] = Some(FaultStatus::Detected);
+                        }
+                    }
+                }
+                stats.test_vectors += sequence.len();
+                sequences.push(sequence);
+            }
+            GenOutcome::Untestable => status[i] = Some(FaultStatus::Untestable),
+            GenOutcome::Aborted => status[i] = Some(FaultStatus::Aborted),
         }
     }
 }
@@ -325,6 +447,52 @@ mod tests {
         // generator itself aborted on (the paper relies on this effect), so
         // dropping never lowers coverage.
         assert!(with_drop.stats.detected >= without_drop.stats.detected);
+    }
+
+    /// Sharded runs must replay the serial drop protocol bit for bit: same
+    /// verdicts, same backtrack/decision totals, same sequences — with fault
+    /// dropping both on (speculation discards) and off (fully independent).
+    #[test]
+    fn sharded_run_matches_serial_run() {
+        let n = sample();
+        let learned = LearnedData::from(
+            &SequentialLearner::new(&n, LearnConfig::default())
+                .learn()
+                .unwrap(),
+        );
+        let faults = full_fault_list(&n);
+        for dropping in [true, false] {
+            let config = AtpgConfig {
+                fault_dropping: dropping,
+                ..AtpgConfig::default()
+            }
+            .learning(LearningMode::ForbiddenValue);
+            let engine = AtpgEngine::new(&n, config)
+                .unwrap()
+                .with_learned(learned.clone());
+            let reference = engine.run_with_threads(&faults, 1);
+            for threads in [2, 3, 8] {
+                let sharded = engine.run_with_threads(&faults, threads);
+                assert_eq!(reference.status, sharded.status, "t={threads}");
+                assert_eq!(reference.sequences, sharded.sequences, "t={threads}");
+                assert_eq!(
+                    reference.stats.backtracks, sharded.stats.backtracks,
+                    "t={threads}"
+                );
+                assert_eq!(
+                    reference.stats.decisions, sharded.stats.decisions,
+                    "t={threads}"
+                );
+                assert_eq!(
+                    reference.stats.untestable_from_ties, sharded.stats.untestable_from_ties,
+                    "t={threads}"
+                );
+                assert_eq!(
+                    reference.stats.test_vectors, sharded.stats.test_vectors,
+                    "t={threads}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -128,6 +128,24 @@ impl<'a> SearchMachines<'a> {
         self.faulty.undo_to(mark.faulty);
     }
 
+    /// Unwinds both machines all the way to the undecided base state (the
+    /// state right after construction).
+    pub fn rewind_to_base(&mut self) {
+        self.good.undo_to(0);
+        self.faulty.undo_to(0);
+    }
+
+    /// Widens both machines to `new_window` frames in place, reusing the
+    /// evaluated prefix frames (see [`EventSim::grow`]); bit-identical to
+    /// constructing fresh machines at `new_window`, without re-simulating the
+    /// frames the previous window already filled. The machines must be at
+    /// their base state ([`SearchMachines::rewind_to_base`]). The fault cone
+    /// is structural and unaffected by the window.
+    pub fn grow(&mut self, levels: &Levelization, new_window: usize) {
+        self.good.grow(levels, new_window);
+        self.faulty.grow(levels, new_window);
+    }
+
     /// Returns `true` when `node` in `frame` carries a fault effect (both
     /// machines binary with opposite values).
     #[inline]

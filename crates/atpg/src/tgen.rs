@@ -103,9 +103,19 @@ impl<'a> TestGenerator<'a> {
         } else {
             self.config.max_window
         };
+        // The pair of three-valued machines, maintained event-driven (see
+        // `search_window`), lives across window growth: when a window is
+        // exhausted, the machines are rewound to their base state and widened
+        // in place — the base values of the already-filled prefix frames are
+        // unchanged by widening, so only the appended frames are evaluated.
+        let mut machines = SearchMachines::new(self.netlist, &self.levels, window, *fault);
         loop {
-            let (outcome, used_bt, used_dec) =
-                self.search_window(fault, window, backtracks_left, self.config.max_decisions);
+            let (outcome, used_bt, used_dec) = self.search_window(
+                &mut machines,
+                fault,
+                backtracks_left,
+                self.config.max_decisions,
+            );
             total_backtracks += used_bt;
             total_decisions += used_dec;
             backtracks_left = backtracks_left.saturating_sub(used_bt);
@@ -133,6 +143,8 @@ impl<'a> TestGenerator<'a> {
                         };
                     }
                     window = (window * 2).min(self.config.max_window);
+                    machines.rewind_to_base();
+                    machines.grow(&self.levels, window);
                 }
             }
         }
@@ -140,22 +152,15 @@ impl<'a> TestGenerator<'a> {
 
     fn search_window(
         &self,
+        machines: &mut SearchMachines<'_>,
         fault: &Fault,
-        window: usize,
         backtrack_budget: usize,
         decision_budget: usize,
     ) -> (WindowOutcome, usize, usize) {
+        let window = machines.window();
         let mut decisions: Vec<Decision> = Vec::new();
         let mut backtracks = 0usize;
         let mut decision_count = 0usize;
-
-        // The pair of three-valued machines, maintained event-driven: a
-        // decision propagates only through the affected cone of the assigned
-        // PI (crossing flip-flop boundaries into later frames only when a
-        // frame output actually changed), and a backtrack unwinds the value
-        // trails. The retained from-scratch path is `simulate_reference`;
-        // `tests/incremental_sim_prop.rs` asserts the two stay bit-exact.
-        let mut machines = SearchMachines::new(self.netlist, &self.levels, window, *fault);
 
         // Learned-implication layer, fed from the same change events: level 0
         // is the undecided search point, every decision opens one level, and
@@ -181,7 +186,7 @@ impl<'a> TestGenerator<'a> {
             let next = if conflict {
                 None
             } else {
-                self.objective(fault, &machines)
+                self.objective(fault, machines)
                     .and_then(|(frame, node, value)| {
                         self.backtrace(frame, node, value, machines.good(), &layer)
                     })

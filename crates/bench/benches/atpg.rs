@@ -86,6 +86,40 @@ fn atpg_search_incremental(c: &mut Criterion) {
     group.finish();
 }
 
+/// Thread scaling of the wave-sharded ATPG loop on the Table-5 workload
+/// (learning mode, fault dropping on — the worst case for speculation). The
+/// `threads/1` lane is the exact serial path; the others produce
+/// bit-identical verdicts, backtracks and sequences (property-tested in
+/// `tests/par_prop.rs`). Explicit counts are passed through
+/// `run_with_threads`, independent of the `SLA_THREADS` environment the JSON
+/// metadata records.
+fn atpg_thread_scaling(c: &mut Criterion) {
+    let netlist = table5_circuit(&Table5Config::default());
+    let faults = collapsed_fault_list(&netlist);
+    let learned = LearnedData::from(
+        &SequentialLearner::new(&netlist, LearnConfig::default())
+            .learn()
+            .expect("learning succeeds"),
+    );
+    let engine = AtpgEngine::new(
+        &netlist,
+        AtpgConfig::with_backtrack_limit(100).learning(LearningMode::ForbiddenValue),
+    )
+    .expect("levelizes")
+    .with_learned(learned);
+
+    let mut group = c.benchmark_group("atpg_search");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            criterion::BenchmarkId::new("incremental/threads", threads),
+            &threads,
+            |b, &threads| b.iter(|| engine.run_with_threads(&faults, threads)),
+        );
+    }
+    group.finish();
+}
+
 /// Word-parallel fault dropping: one test sequence fault-simulated against
 /// the whole collapsed fault list (the per-test inner loop of
 /// `AtpgEngine::run`).
@@ -125,6 +159,7 @@ criterion_group!(
     benches,
     atpg_with_and_without_learning,
     fault_dropping,
-    atpg_search_incremental
+    atpg_search_incremental,
+    atpg_thread_scaling
 );
 criterion_main!(benches);

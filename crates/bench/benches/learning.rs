@@ -43,6 +43,32 @@ fn learning_industrial(c: &mut Criterion) {
     group.finish();
 }
 
+/// Thread scaling of the sharded learning pipeline on the industrial
+/// workload. The `threads/1` lane is the exact serial path; the others must
+/// produce bit-identical results (property-tested in `tests/par_prop.rs`),
+/// so any delta here is pure scheduling. Explicit counts are passed through
+/// `learn_with_threads`, independent of the `SLA_THREADS` environment the
+/// JSON metadata records.
+fn learning_thread_scaling(c: &mut Criterion) {
+    let netlist = industrial_circuit(&IndustrialConfig::default());
+    let mut group = c.benchmark_group("sequential_learning");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("industrial/threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    SequentialLearner::new(&netlist, LearnConfig::default())
+                        .learn_with_threads(threads)
+                        .expect("learning succeeds")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn learning_single_vs_multi(c: &mut Criterion) {
     let mut group = c.benchmark_group("learning_phases");
     group.sample_size(10);
@@ -69,6 +95,7 @@ criterion_group!(
     benches,
     learning_scaling,
     learning_industrial,
+    learning_thread_scaling,
     learning_single_vs_multi
 );
 criterion_main!(benches);

@@ -28,6 +28,10 @@ struct Record {
     group: String,
     bench: String,
     median_ns: f64,
+    /// Worker-thread count the record was measured under. Records written
+    /// before the field existed default to 1: every committed baseline up to
+    /// and including `BENCH_pr3.json` was recorded single-threaded.
+    threads: usize,
 }
 
 /// Extracts the quoted string value following `"key":` in a flat JSON object.
@@ -66,11 +70,15 @@ fn parse_records(text: &str) -> (Vec<Record>, Vec<String>) {
         else {
             continue;
         };
+        let threads = num_field(object, "threads")
+            .map(|t| t as usize)
+            .unwrap_or(1);
         match num_field(object, "median_ns") {
             Some(median_ns) => records.push(Record {
                 group,
                 bench,
                 median_ns,
+                threads,
             }),
             None => malformed.push(format!("{group}/{bench}")),
         }
@@ -148,6 +156,7 @@ fn main() -> ExitCode {
     let mut worst: Option<(String, f64)> = None;
     let mut zero_based: Vec<String> = Vec::new();
     let mut missing: Vec<String> = Vec::new();
+    let mut thread_mismatch: Vec<String> = Vec::new();
     for base in &baseline {
         let name = format!("{}/{}", base.group, base.bench);
         match current
@@ -155,6 +164,16 @@ fn main() -> ExitCode {
             .find(|c| c.group == base.group && c.bench == base.bench)
         {
             Some(curr) => {
+                // Medians measured under different worker-thread counts are
+                // not comparable: a faster parallel run would mask a kernel
+                // regression (and vice versa). Collect the mismatch; gating
+                // on it fails below.
+                if curr.threads != base.threads {
+                    thread_mismatch.push(format!(
+                        "{name} (baseline {} thread(s), current {})",
+                        base.threads, curr.threads
+                    ));
+                }
                 // A zero (or negative) baseline median makes the relative
                 // delta undefined; collect it instead of dividing by zero and
                 // letting a NaN/inf slip through the gate comparisons.
@@ -208,6 +227,17 @@ fn main() -> ExitCode {
         }
     }
 
+    if !thread_mismatch.is_empty() && fail_above.is_some() {
+        // Refuse to gate across thread counts entirely: rerun the current
+        // benches under the baseline's SLA_THREADS (or record a new baseline
+        // at the new count deliberately).
+        eprintln!(
+            "FAIL: thread-count mismatch between baseline and current run for {} \
+             — rerun with the baseline's SLA_THREADS or refresh the baseline",
+            thread_mismatch.join(", ")
+        );
+        return ExitCode::from(1);
+    }
     if !zero_based.is_empty() && fail_above.is_some() {
         // A zero-median baseline bench cannot be judged against a relative
         // limit; a broken baseline must be regenerated, not gated around.
@@ -317,6 +347,20 @@ mod tests {
         assert!(malformed.is_empty());
         assert_eq!(records[0].median_ns, 0.0);
         assert!(records[0].median_ns <= 0.0, "guard condition must trip");
+    }
+
+    #[test]
+    fn threads_field_parses_and_defaults_to_one() {
+        let text = r#"{"group": "g", "bench": "a", "median_ns": 90, "threads": 4, "available_parallelism": 8}
+{"group": "g", "bench": "legacy", "median_ns": 50}
+"#;
+        let (records, malformed) = parse_records(text);
+        assert!(malformed.is_empty());
+        assert_eq!(records[0].threads, 4);
+        assert_eq!(
+            records[1].threads, 1,
+            "pre-PR4 records were single-threaded"
+        );
     }
 
     #[test]

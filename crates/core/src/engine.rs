@@ -105,11 +105,33 @@ impl<'a> SequentialLearner<'a> {
 
     /// Runs the complete learning flow and returns every learned artifact.
     ///
+    /// The two simulation-heavy passes are sharded across worker threads; the
+    /// count comes from the `SLA_THREADS` environment variable (default: the
+    /// machine's available parallelism). Results are **bit-identical** for
+    /// every thread count — `SLA_THREADS=1` is the exact legacy serial path,
+    /// and [`SequentialLearner::learn_with_threads`] pins the count
+    /// explicitly.
+    ///
     /// # Errors
     ///
     /// Returns an error when the combinational logic cannot be levelized (the
     /// netlist contains a combinational cycle).
     pub fn learn(&self) -> Result<LearnResult> {
+        self.learn_with_threads(sla_par::thread_count())
+    }
+
+    /// [`SequentialLearner::learn`] with an explicit worker-thread count.
+    ///
+    /// `threads <= 1` runs the serial single-thread pass; any larger count
+    /// shards the single-node stem batches and speculatively pipelines the
+    /// multiple-node batches, with ordered merges that keep the resulting
+    /// database, ties and statistics bit-identical to the serial run.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the combinational logic cannot be levelized (the
+    /// netlist contains a combinational cycle).
+    pub fn learn_with_threads(&self, threads: usize) -> Result<LearnResult> {
         let start = Instant::now();
         let netlist = self.netlist;
         let stems = fanout_stems(netlist);
@@ -176,13 +198,14 @@ impl<'a> SequentialLearner<'a> {
                 .collect();
 
             // Phase 1: single-node learning, 32 stems (64 lanes) per packed
-            // forward pass.
-            let single = single_node::run_batched(
+            // forward pass, sharded across threads by batch boundary.
+            let single = single_node::run_sharded(
                 &sim,
                 &class_stems,
                 &options,
                 mask.as_deref(),
                 self.config.learn_cross_frame,
+                threads,
             );
             for (imp, seq) in single.implications {
                 db.add(imp, seq);
@@ -196,13 +219,14 @@ impl<'a> SequentialLearner<'a> {
             sim.set_tied(tied.values().map(|t| (t.node, t.value)).collect());
 
             if self.config.multiple_node {
-                let multi = multi_node::run_batched(
+                let multi = multi_node::run_sharded(
                     &mut sim,
                     &single.support,
                     &options,
                     mask.as_deref(),
                     self.config.max_multi_node_targets,
                     self.config.learn_cross_frame,
+                    threads,
                 );
                 multi_targets += multi.targets_processed;
                 for (imp, seq) in multi.implications {

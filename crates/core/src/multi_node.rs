@@ -244,7 +244,6 @@ pub fn run_batched(
     max_targets: usize,
     learn_cross_frame: bool,
 ) -> MultiNodeOutcome {
-    let netlist = sim.netlist();
     let mut outcome = MultiNodeOutcome::default();
     let targets = sorted_targets(support, max_targets);
     // Targets are prepared on first need and memoized — preparation only
@@ -252,103 +251,446 @@ pub fn run_batched(
     // batch restarts never redo the work, and targets skipped as already
     // tied are never prepared at all.
     let mut prepared: Vec<Option<Target>> = (0..targets.len()).map(|_| None).collect();
-    let prepare = |prepared: &mut Vec<Option<Target>>, at: usize| {
+
+    let mut cap = MAX_BATCH;
+    let mut i = 0;
+    loop {
+        let step = plan_step(
+            sim.netlist(),
+            &targets,
+            &mut prepared,
+            sim.tied(),
+            &[],
+            i,
+            cap,
+        );
+        match step {
+            None => break,
+            Some(PlannedStep::Tie {
+                idx,
+                node,
+                produced,
+            }) => {
+                outcome.targets_processed += 1;
+                let horizon = prepared[idx]
+                    .as_ref()
+                    .expect("planned tie is prepared")
+                    .horizon;
+                record_tie(sim, &mut outcome, node, produced, horizon);
+                i = idx + 1;
+            }
+            Some(PlannedStep::Batch(plan)) => {
+                let traces = simulate_plan(sim, &prepared, &plan, options);
+                match process_batch(
+                    sim,
+                    &prepared,
+                    &plan.batch,
+                    &traces,
+                    class_mask,
+                    learn_cross_frame,
+                    &mut outcome,
+                ) {
+                    Some(conflict_at) => {
+                        // New tie: later lanes would have seen it in the
+                        // serial order — re-run them under the updated state,
+                        // and shrink the next batch so a tie-dense stretch
+                        // wastes fewer lanes per restart.
+                        cap = (cap / 2).max(MIN_BATCH);
+                        i = conflict_at + 1;
+                    }
+                    None => {
+                        // A conflict-free batch: the tie-dense stretch (if
+                        // any) is over, widen again.
+                        cap = (cap * 2).min(MAX_BATCH);
+                        i = plan.next_i;
+                    }
+                }
+            }
+        }
+    }
+    outcome
+}
+
+/// One planned packed batch.
+#[derive(Debug)]
+struct BatchPlan {
+    /// Lanes: `(target index, node, produced)`.
+    batch: Vec<(usize, NodeId, bool)>,
+    /// Scan position the serial order continues from when the batch turns out
+    /// conflict-free.
+    next_i: usize,
+    /// Number of certain (contradictory-target) ties planned before this
+    /// batch within the current speculation round; the batch's simulation
+    /// state is the round's base state plus that overlay prefix.
+    overlay_len: usize,
+}
+
+/// One step of the serial learning schedule, as produced by [`plan_step`].
+#[derive(Debug)]
+enum PlannedStep {
+    /// The scan head is a contradictory target: a certain tie, no simulation.
+    Tie {
+        idx: usize,
+        node: NodeId,
+        produced: bool,
+    },
+    /// A gathered batch of simulatable targets.
+    Batch(BatchPlan),
+}
+
+/// Plans the next step of the serial schedule from scan position `i` under
+/// the tied state `tied ∪ overlay`: skips input/already-tied targets, then
+/// either reports the contradictory head as a certain tie or gathers a batch
+/// of up to `cap` simulatable targets (a contradictory target is a batch
+/// boundary: its tie mutates the state every later target sees). Returns
+/// `None` when the target list is exhausted.
+///
+/// This is the exact gather logic of the single-thread pass, factored out so
+/// the sharded pass can *speculatively* plan several steps ahead — planning
+/// is pure given the tied state, and certain ties extend the overlay without
+/// any simulation.
+fn plan_step(
+    netlist: &Netlist,
+    targets: &[TargetEntry<'_>],
+    prepared: &mut [Option<Target>],
+    tied: &[(NodeId, bool)],
+    overlay: &[(NodeId, bool)],
+    mut i: usize,
+    cap: usize,
+) -> Option<PlannedStep> {
+    let is_tied = |node: NodeId| {
+        tied.iter().any(|&(n, _)| n == node) || overlay.iter().any(|&(n, _)| n == node)
+    };
+    let prepare = |prepared: &mut [Option<Target>], at: usize| {
         if prepared[at].is_none() {
             let (&(node, produced), entries) = targets[at];
             prepared[at] = Some(prepare_target(node, produced, entries));
         }
     };
-
-    let mut cap = MAX_BATCH;
-    let mut i = 0;
-    'outer: while i < targets.len() {
+    loop {
+        if i >= targets.len() {
+            return None;
+        }
         let &(node, produced) = targets[i].0;
-        if netlist.node(node).is_input() {
+        if netlist.node(node).is_input() || is_tied(node) {
             i += 1;
             continue;
         }
-        if sim.tied().iter().any(|&(n, _)| n == node) {
-            i += 1;
-            continue;
+        prepare(prepared, i);
+        if prepared[i].as_ref().expect("just prepared").contradictory {
+            return Some(PlannedStep::Tie {
+                idx: i,
+                node,
+                produced,
+            });
         }
-        prepare(&mut prepared, i);
-        let first = prepared[i].as_ref().expect("just prepared");
-        if first.contradictory {
-            outcome.targets_processed += 1;
-            let horizon = first.horizon;
-            record_tie(sim, &mut outcome, node, produced, horizon);
-            i += 1;
-            continue;
-        }
-
-        // Gather a batch of simulatable targets. A contradictory target is a
-        // batch boundary: its tie mutates the state every later target sees.
         let mut batch: Vec<(usize, NodeId, bool)> = vec![(i, node, produced)];
         let mut j = i + 1;
         while j < targets.len() && batch.len() < cap {
             let &(n2, p2) = targets[j].0;
-            if netlist.node(n2).is_input() || sim.tied().iter().any(|&(n, _)| n == n2) {
+            if netlist.node(n2).is_input() || is_tied(n2) {
                 j += 1;
                 continue;
             }
-            prepare(&mut prepared, j);
+            prepare(prepared, j);
             if prepared[j].as_ref().expect("just prepared").contradictory {
                 break;
             }
             batch.push((j, n2, p2));
             j += 1;
         }
-
-        let lanes: Vec<&Target> = batch
-            .iter()
-            .map(|&(at, _, _)| prepared[at].as_ref().expect("batch lanes are prepared"))
-            .collect();
-        let run_options = SimOptions {
-            max_frames: lanes
-                .iter()
-                .map(|t| t.horizon + 1)
-                .max()
-                .expect("non-empty batch"),
-            stop_on_repeat: false,
-            respect_seq_rules: options.respect_seq_rules,
-        };
-        let jobs: Vec<&[Injection]> = lanes.iter().map(|t| t.injections.as_slice()).collect();
-        let limits: Vec<usize> = lanes.iter().map(|t| t.horizon + 1).collect();
-        let traces = sim.run_batch_with_limits_packed(&jobs, &run_options, &limits);
-
-        for (k, &(ti, n2, p2)) in batch.iter().enumerate() {
-            let trace = traces.lane(k);
-            let target = prepared[ti].as_ref().expect("batch lanes are prepared");
-            outcome.targets_processed += 1;
-            if trace.conflict().is_some() {
-                // New tie: later lanes of this batch would have seen it in the
-                // serial order — re-run them under the updated state, and
-                // shrink the next batch so a tie-dense stretch wastes fewer
-                // lanes per restart.
-                let horizon = target.horizon;
-                record_tie(sim, &mut outcome, n2, p2, horizon);
-                outcome.batch_restarts += 1;
-                outcome.wasted_lanes += batch.len() - k - 1;
-                cap = (cap / 2).max(MIN_BATCH);
-                i = ti + 1;
-                continue 'outer;
-            }
-            harvest_target(
-                netlist,
-                n2,
-                p2,
-                target,
-                &trace,
-                class_mask,
-                learn_cross_frame,
-                &mut outcome,
-            );
-        }
-        // A conflict-free batch: the tie-dense stretch (if any) is over, widen
-        // again.
-        cap = (cap * 2).min(MAX_BATCH);
-        i = j;
+        return Some(PlannedStep::Batch(BatchPlan {
+            batch,
+            next_i: j,
+            overlay_len: overlay.len(),
+        }));
     }
+}
+
+/// Runs the packed forward pass of one planned batch. Pure with respect to
+/// the simulator (reads its tied/equivalence/mask state only), so speculative
+/// executions on clones produce the traces the serial order would.
+fn simulate_plan(
+    sim: &InjectionSim<'_>,
+    prepared: &[Option<Target>],
+    plan: &BatchPlan,
+    options: &SimOptions,
+) -> sla_sim::PackedTraces {
+    let lanes: Vec<&Target> = plan
+        .batch
+        .iter()
+        .map(|&(at, _, _)| prepared[at].as_ref().expect("batch lanes are prepared"))
+        .collect();
+    let run_options = SimOptions {
+        max_frames: lanes
+            .iter()
+            .map(|t| t.horizon + 1)
+            .max()
+            .expect("non-empty batch"),
+        stop_on_repeat: false,
+        respect_seq_rules: options.respect_seq_rules,
+    };
+    let jobs: Vec<&[Injection]> = lanes.iter().map(|t| t.injections.as_slice()).collect();
+    let limits: Vec<usize> = lanes.iter().map(|t| t.horizon + 1).collect();
+    sim.run_batch_with_limits_packed(&jobs, &run_options, &limits)
+}
+
+/// Processes the lanes of one simulated batch in serial order: harvests
+/// conflict-free lanes, and on the first conflicting lane records the tie,
+/// the restart and the wasted suffix, returning the conflicting target index
+/// (the serial scan resumes right after it). `None` means conflict-free.
+#[allow(clippy::too_many_arguments)]
+fn process_batch(
+    sim: &mut InjectionSim<'_>,
+    prepared: &[Option<Target>],
+    batch: &[(usize, NodeId, bool)],
+    traces: &sla_sim::PackedTraces,
+    class_mask: Option<&[bool]>,
+    learn_cross_frame: bool,
+    outcome: &mut MultiNodeOutcome,
+) -> Option<usize> {
+    let netlist = sim.netlist();
+    for (k, &(ti, n2, p2)) in batch.iter().enumerate() {
+        let trace = traces.lane(k);
+        let target = prepared[ti].as_ref().expect("batch lanes are prepared");
+        outcome.targets_processed += 1;
+        if trace.conflict().is_some() {
+            let horizon = target.horizon;
+            record_tie(sim, outcome, n2, p2, horizon);
+            outcome.batch_restarts += 1;
+            outcome.wasted_lanes += batch.len() - k - 1;
+            return Some(ti);
+        }
+        harvest_target(
+            netlist,
+            n2,
+            p2,
+            target,
+            &trace,
+            class_mask,
+            learn_cross_frame,
+            outcome,
+        );
+    }
+    None
+}
+
+/// One speculative simulation job of [`run_sharded`]: an owned snapshot of
+/// everything the packed forward pass needs, so worker threads never borrow
+/// the merge thread's mutable state.
+struct SpecJob<'a> {
+    /// Clone of the round's base simulator plus the certain-tie overlay
+    /// prefix of this batch.
+    sim: InjectionSim<'a>,
+    /// Per-lane injection sets (cloned from the prepared targets).
+    jobs: Vec<Vec<Injection>>,
+    /// Per-lane frame limits (`horizon + 1`).
+    limits: Vec<usize>,
+    /// Widest lane limit (the pass's `max_frames`).
+    max_frames: usize,
+    respect_seq_rules: bool,
+    /// Position among the round's batches (results are reordered by it).
+    seq: usize,
+}
+
+/// Runs multiple-node learning sharded across `threads` worker threads,
+/// producing **exactly** the outcome of [`run_batched`] — same relations,
+/// ties, target count and tie-restart accounting (`batch_restarts`,
+/// `wasted_lanes`) — and leaving the simulator's tied state identical.
+///
+/// Targets are coupled through discovered ties, so the work cannot be split
+/// by naive sharding without changing the serial schedule. Instead the
+/// single-thread schedule is executed *speculatively*: up to `threads`
+/// consecutive batches are planned ahead under the assumption that every one
+/// of them is conflict-free (certain ties from contradictory targets are
+/// applied during planning — they need no simulation), their packed forward
+/// passes run in parallel on clones of the current simulator state, and the
+/// results are then processed in serial order by the same code the
+/// single-thread pass uses. The first simulation-discovered conflict
+/// invalidates the remaining speculative traces, which are discarded and
+/// replanned under the updated tied state — wasted *machine* work, but the
+/// reported schedule (and therefore every output bit) is the serial one.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sharded(
+    sim: &mut InjectionSim<'_>,
+    support: &SupportMap,
+    options: &SimOptions,
+    class_mask: Option<&[bool]>,
+    max_targets: usize,
+    learn_cross_frame: bool,
+    threads: usize,
+) -> MultiNodeOutcome {
+    if threads <= 1 {
+        return run_batched(
+            sim,
+            support,
+            options,
+            class_mask,
+            max_targets,
+            learn_cross_frame,
+        );
+    }
+    let netlist = sim.netlist();
+    let mut outcome = MultiNodeOutcome::default();
+    let targets = sorted_targets(support, max_targets);
+    let mut prepared: Vec<Option<Target>> = (0..targets.len()).map(|_| None).collect();
+
+    // One worker pool for the whole pass: rounds are frequent (every
+    // conflict squashes one), so per-round thread spawn/join would dominate
+    // tie-dense target lists. The workers run the owned-data twin of
+    // [`simulate_plan`].
+    sla_par::with_pool(
+        threads,
+        |_worker| (),
+        |(), job: SpecJob<'_>| {
+            let run_options = SimOptions {
+                max_frames: job.max_frames,
+                stop_on_repeat: false,
+                respect_seq_rules: job.respect_seq_rules,
+            };
+            let jobs: Vec<&[Injection]> = job.jobs.iter().map(|j| j.as_slice()).collect();
+            let packed = job
+                .sim
+                .run_batch_with_limits_packed(&jobs, &run_options, &job.limits);
+            (job.seq, packed)
+        },
+        |pool| {
+            let mut cap = MAX_BATCH;
+            let mut i = 0;
+            loop {
+                // Speculative plan: up to `threads` batches ahead, assuming
+                // conflict-free outcomes (the common case — multi-node ties are rare
+                // on most target lists).
+                let mut steps: Vec<PlannedStep> = Vec::new();
+                let mut overlay: Vec<(NodeId, bool)> = Vec::new();
+                let mut plan_i = i;
+                let mut plan_cap = cap;
+                let mut batches = 0usize;
+                while batches < threads {
+                    match plan_step(
+                        netlist,
+                        &targets,
+                        &mut prepared,
+                        sim.tied(),
+                        &overlay,
+                        plan_i,
+                        plan_cap,
+                    ) {
+                        None => break,
+                        Some(PlannedStep::Tie {
+                            idx,
+                            node,
+                            produced,
+                        }) => {
+                            overlay.push((node, produced));
+                            plan_i = idx + 1;
+                            steps.push(PlannedStep::Tie {
+                                idx,
+                                node,
+                                produced,
+                            });
+                        }
+                        Some(PlannedStep::Batch(plan)) => {
+                            plan_i = plan.next_i;
+                            plan_cap = (plan_cap * 2).min(MAX_BATCH);
+                            batches += 1;
+                            steps.push(PlannedStep::Batch(plan));
+                        }
+                    }
+                }
+                if steps.is_empty() {
+                    break;
+                }
+
+                // Parallel speculative simulation of the planned batches on the
+                // persistent worker pool, each job carrying a clone of the round's
+                // base state plus its certain-tie overlay prefix (cloned on this
+                // thread, so the workers never borrow the mutable merge state).
+                let mut batch_count = 0usize;
+                for step in &steps {
+                    let PlannedStep::Batch(plan) = step else {
+                        continue;
+                    };
+                    let mut worker_sim = sim.clone();
+                    for &(node, value) in &overlay[..plan.overlay_len] {
+                        worker_sim.add_tied(node, value);
+                    }
+                    let lanes: Vec<&Target> = plan
+                        .batch
+                        .iter()
+                        .map(|&(at, _, _)| prepared[at].as_ref().expect("batch lanes are prepared"))
+                        .collect();
+                    pool.submit(SpecJob {
+                        sim: worker_sim,
+                        jobs: lanes.iter().map(|t| t.injections.clone()).collect(),
+                        limits: lanes.iter().map(|t| t.horizon + 1).collect(),
+                        max_frames: lanes
+                            .iter()
+                            .map(|t| t.horizon + 1)
+                            .max()
+                            .expect("non-empty batch"),
+                        respect_seq_rules: options.respect_seq_rules,
+                        seq: batch_count,
+                    });
+                    batch_count += 1;
+                }
+                let mut traces: Vec<Option<sla_sim::PackedTraces>> =
+                    (0..batch_count).map(|_| None).collect();
+                for _ in 0..batch_count {
+                    let (seq, packed) = pool.recv();
+                    traces[seq] = Some(packed);
+                }
+
+                // Serial processing: identical code and order to the single-thread
+                // pass; the first conflict discards the remaining speculation.
+                let mut conflicted = false;
+                let mut trace_idx = 0usize;
+                for step in &steps {
+                    match step {
+                        PlannedStep::Tie {
+                            idx,
+                            node,
+                            produced,
+                        } => {
+                            outcome.targets_processed += 1;
+                            let horizon = prepared[*idx]
+                                .as_ref()
+                                .expect("planned tie is prepared")
+                                .horizon;
+                            record_tie(sim, &mut outcome, *node, *produced, horizon);
+                            i = idx + 1;
+                        }
+                        PlannedStep::Batch(plan) => {
+                            let batch_traces = traces[trace_idx].as_ref().expect("round result");
+                            trace_idx += 1;
+                            match process_batch(
+                                sim,
+                                &prepared,
+                                &plan.batch,
+                                batch_traces,
+                                class_mask,
+                                learn_cross_frame,
+                                &mut outcome,
+                            ) {
+                                Some(conflict_at) => {
+                                    cap = (cap / 2).max(MIN_BATCH);
+                                    i = conflict_at + 1;
+                                    conflicted = true;
+                                }
+                                None => {
+                                    cap = (cap * 2).min(MAX_BATCH);
+                                    i = plan.next_i;
+                                }
+                            }
+                            if conflicted {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        },
+    );
     outcome
 }
 
@@ -609,6 +951,47 @@ mod tests {
             "{} lanes wasted over {} restarts",
             batched.wasted_lanes, batched.batch_restarts
         );
+    }
+
+    /// The speculative sharded pass must replay the serial schedule bit for
+    /// bit — including on the tie-dense list, where almost every speculation
+    /// round is squashed by a conflict.
+    #[test]
+    fn sharded_run_matches_batched_run_including_restart_accounting() {
+        for netlist in [figure2_core(), tie_dense(12)] {
+            let stems = sla_netlist::stems::fanout_stems(&netlist);
+            let options = SimOptions::default();
+            let base = InjectionSim::new(&netlist).unwrap();
+            let single = single_node::run(&base, &stems, &options, None, false);
+            let mut reference_sim = InjectionSim::new(&netlist).unwrap();
+            let reference =
+                run_batched(&mut reference_sim, &single.support, &options, None, 0, true);
+            for threads in [1, 2, 3, 8] {
+                let mut sharded_sim = InjectionSim::new(&netlist).unwrap();
+                let sharded = run_sharded(
+                    &mut sharded_sim,
+                    &single.support,
+                    &options,
+                    None,
+                    0,
+                    true,
+                    threads,
+                );
+                assert_eq!(reference.implications, sharded.implications, "t={threads}");
+                assert_eq!(reference.ties, sharded.ties, "t={threads}");
+                assert_eq!(reference.cross_frame, sharded.cross_frame, "t={threads}");
+                assert_eq!(
+                    reference.targets_processed, sharded.targets_processed,
+                    "t={threads}"
+                );
+                assert_eq!(
+                    reference.batch_restarts, sharded.batch_restarts,
+                    "t={threads}"
+                );
+                assert_eq!(reference.wasted_lanes, sharded.wasted_lanes, "t={threads}");
+                assert_eq!(reference_sim.tied(), sharded_sim.tied(), "t={threads}");
+            }
+        }
     }
 
     #[test]

@@ -527,21 +527,124 @@ pub fn run_batched(
     let mut filter = PairFilter::for_netlist(netlist);
     let roles = endpoint_roles(netlist, class_mask);
     for chunk in stems.chunks(STEMS_PER_BATCH) {
-        let packed = simulate_stem_batch_packed(sim, chunk, options);
-        for (k, &stem) in chunk.iter().enumerate() {
-            harvest_stem(
-                netlist,
-                stem,
-                &packed.lane(2 * k),
-                &packed.lane(2 * k + 1),
-                &roles,
-                learn_cross_frame,
-                &mut filter,
-                &mut outcome,
-            );
-        }
+        harvest_chunk(
+            sim,
+            chunk,
+            options,
+            &roles,
+            &mut filter,
+            learn_cross_frame,
+            &mut outcome,
+        );
     }
     outcome
+}
+
+/// One packed forward pass over up to [`STEMS_PER_BATCH`] stems, harvested
+/// into `outcome` (the loop body shared by [`run_batched`] and the workers of
+/// [`run_sharded`]).
+fn harvest_chunk(
+    sim: &InjectionSim<'_>,
+    chunk: &[NodeId],
+    options: &SimOptions,
+    roles: &[Role],
+    filter: &mut PairFilter,
+    learn_cross_frame: bool,
+    outcome: &mut SingleNodeOutcome,
+) {
+    let netlist = sim.netlist();
+    let packed = simulate_stem_batch_packed(sim, chunk, options);
+    for (k, &stem) in chunk.iter().enumerate() {
+        harvest_stem(
+            netlist,
+            stem,
+            &packed.lane(2 * k),
+            &packed.lane(2 * k + 1),
+            roles,
+            learn_cross_frame,
+            filter,
+            outcome,
+        );
+    }
+}
+
+/// Runs single-node learning over `stems` sharded across `threads` worker
+/// threads, producing **exactly** the outcome of [`run_batched`] — the same
+/// implication stream (including the duplicate-filter suppressions), ties,
+/// cross-frame relations and support map.
+///
+/// Stems are split at the same [`STEMS_PER_BATCH`] boundaries as the
+/// single-thread pass and claimed dynamically; each worker keeps a private
+/// [`PairFilter`] that persists across the chunks it happens to claim. That
+/// makes the *per-chunk* emission lists schedule-dependent (a worker
+/// suppresses pairs it saw in an earlier chunk), but chunks are always
+/// claimed in increasing index order, so a pair's first occurrence in the
+/// chunk-ordered concatenation is exactly its first occurrence in stem order.
+/// The ordered merge then replays the concatenation through one fresh global
+/// filter, which reconstructs the single-thread emission stream bit for bit.
+pub fn run_sharded(
+    sim: &InjectionSim<'_>,
+    stems: &[NodeId],
+    options: &SimOptions,
+    class_mask: Option<&[bool]>,
+    learn_cross_frame: bool,
+    threads: usize,
+) -> SingleNodeOutcome {
+    if threads <= 1 || stems.len() <= STEMS_PER_BATCH {
+        return run_batched(sim, stems, options, class_mask, learn_cross_frame);
+    }
+    let netlist = sim.netlist();
+    let chunks: Vec<&[NodeId]> = stems.chunks(STEMS_PER_BATCH).collect();
+    let outcomes = sla_par::run_indexed_with(
+        &chunks,
+        threads,
+        |_worker| {
+            (
+                PairFilter::for_netlist(netlist),
+                endpoint_roles(netlist, class_mask),
+            )
+        },
+        |(filter, roles), _i, chunk| {
+            let mut outcome = SingleNodeOutcome::default();
+            harvest_chunk(
+                sim,
+                chunk,
+                options,
+                roles,
+                filter,
+                learn_cross_frame,
+                &mut outcome,
+            );
+            outcome
+        },
+    );
+
+    // Ordered merge (chunk order = stem order). Only the implication stream
+    // needs the replay filter; ties, cross-frame relations and the support
+    // map are never duplicate-filtered by the single-thread pass, so plain
+    // in-order concatenation is already identical.
+    let mut merged = SingleNodeOutcome::default();
+    let mut filter = PairFilter::for_netlist(netlist);
+    for outcome in outcomes {
+        for (imp, seq) in outcome.implications {
+            if filter.admit(
+                imp.antecedent.node,
+                imp.antecedent.value,
+                imp.consequent.node,
+                imp.consequent.value,
+                seq,
+            ) {
+                merged.implications.push((imp, seq));
+            }
+        }
+        merged.cross_frame.extend(outcome.cross_frame);
+        merged.ties.extend(outcome.ties);
+        for (key, entries) in outcome.support {
+            merged.support.entry(key).or_default().extend(entries);
+        }
+        merged.stems_processed += outcome.stems_processed;
+    }
+    merged
 }
 
 #[cfg(test)]
@@ -680,6 +783,75 @@ mod tests {
         assert_eq!(scalar.cross_frame, batched.cross_frame);
         assert_eq!(scalar.support, batched.support);
         assert_eq!(scalar.stems_processed, batched.stems_processed);
+    }
+
+    /// Enough independent motif copies to exceed several [`STEMS_PER_BATCH`]
+    /// boundaries, so sharding has real chunks to distribute.
+    fn many_stems(copies: usize) -> Netlist {
+        let mut b = NetlistBuilder::new("many");
+        for i in 0..copies {
+            let i1 = format!("i1_{i}");
+            let i2 = format!("i2_{i}");
+            b.input(&i1);
+            b.input(&i2);
+            b.gate(&format!("n1_{i}"), GateType::Not, &[&i1]).unwrap();
+            b.gate(&format!("n2_{i}"), GateType::Not, &[&i2]).unwrap();
+            b.gate(
+                &format!("d1_{i}"),
+                GateType::And,
+                &[i2.as_str(), &format!("nf2_{i}")],
+            )
+            .unwrap();
+            b.gate(
+                &format!("d2_{i}"),
+                GateType::And,
+                &[&format!("n2_{i}"), &format!("nf1_{i}")],
+            )
+            .unwrap();
+            b.gate(&format!("nf1_{i}"), GateType::Not, &[&format!("f1_{i}")])
+                .unwrap();
+            b.gate(&format!("nf2_{i}"), GateType::Not, &[&format!("f2_{i}")])
+                .unwrap();
+            b.dff(&format!("f1_{i}"), &format!("d1_{i}")).unwrap();
+            b.dff(&format!("f2_{i}"), &format!("d2_{i}")).unwrap();
+            b.gate(
+                &format!("o_{i}"),
+                GateType::Or,
+                &[
+                    format!("f1_{i}").as_str(),
+                    format!("f2_{i}").as_str(),
+                    format!("n1_{i}").as_str(),
+                ],
+            )
+            .unwrap();
+            b.output(&format!("o_{i}")).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn sharded_run_matches_batched_run() {
+        let n = many_stems(40);
+        let sim = InjectionSim::new(&n).unwrap();
+        let stems = sla_netlist::stems::fanout_stems(&n);
+        assert!(
+            stems.len() > 3 * STEMS_PER_BATCH,
+            "need several chunks, got {} stems",
+            stems.len()
+        );
+        let options = SimOptions::default();
+        let reference = run_batched(&sim, &stems, &options, None, true);
+        for threads in [1, 2, 3, 8] {
+            let sharded = run_sharded(&sim, &stems, &options, None, true, threads);
+            assert_eq!(reference.implications, sharded.implications, "t={threads}");
+            assert_eq!(reference.ties, sharded.ties, "t={threads}");
+            assert_eq!(reference.cross_frame, sharded.cross_frame, "t={threads}");
+            assert_eq!(reference.support, sharded.support, "t={threads}");
+            assert_eq!(
+                reference.stems_processed, sharded.stems_processed,
+                "t={threads}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,437 @@
+//! Deterministic work-sharding runtime for the seqlearn workspace.
+//!
+//! The learning and ATPG pipelines are embarrassingly parallel across stems,
+//! learning targets and faults, but the project's contract is stronger than
+//! "parallel and correct": an `SLA_THREADS=N` run must be **bit-identical** to
+//! the `SLA_THREADS=1` run — same relations in the same database order, same
+//! ties, same per-fault verdicts and backtrack counts. This crate provides the
+//! two primitives that make that contract easy to keep:
+//!
+//! * [`run_indexed`] / [`run_indexed_with`] — a parallel map over a slice
+//!   whose result vector is always in item order, regardless of which worker
+//!   processed which item. Work is distributed dynamically (an atomic cursor),
+//!   so the *assignment* of items to workers is timing-dependent, but as long
+//!   as the per-item function is a pure function of the item, the returned
+//!   vector is deterministic. Callers then perform an *ordered merge*, which
+//!   keeps any order-sensitive reduction identical to the serial loop.
+//! * [`with_pool`] — a scoped worker pool with per-worker state and a
+//!   submit/collect handle, for pipelines that interleave parallel phases with
+//!   serial merge steps (speculative ATPG waves, speculative learning
+//!   batches). Workers live for the whole pool scope, so per-worker setup
+//!   (test generators, simulators) is paid once, not per job.
+//!
+//! Everything is built on `std::thread::scope`: no extra dependencies, and
+//! borrowed data (netlists, simulators, fault lists) crosses into workers
+//! without `Arc` gymnastics.
+//!
+//! The thread count itself comes from [`thread_count`]: the `SLA_THREADS`
+//! environment variable when set to a positive integer, otherwise the
+//! machine's available parallelism. `SLA_THREADS=1` is the exact legacy
+//! single-thread path everywhere in the workspace — sharded entry points
+//! delegate to the serial implementation without spawning anything.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Condvar, Mutex};
+
+/// Name of the environment variable controlling the worker count.
+pub const THREADS_ENV: &str = "SLA_THREADS";
+
+/// Resolves the worker count: `SLA_THREADS` when it parses to a positive
+/// integer, otherwise [`std::thread::available_parallelism`] (1 when even that
+/// is unavailable). `SLA_THREADS=0`, empty or garbage falls back to the
+/// default rather than erroring: a misconfigured environment should never
+/// change results (they are thread-count independent), only the schedule.
+pub fn thread_count() -> usize {
+    match std::env::var(THREADS_ENV) {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => default_parallelism(),
+        },
+        Err(_) => default_parallelism(),
+    }
+}
+
+/// The machine's available parallelism (1 when undeterminable).
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Parallel map over `items` with dynamic work stealing; the result vector is
+/// in item order. With `threads <= 1` (or at most one item) the map runs
+/// inline on the caller's thread — the exact serial path, no spawn.
+///
+/// `f` receives `(index, &item)` and must be a pure function of them for the
+/// whole call to be deterministic.
+pub fn run_indexed<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    run_indexed_with(items, threads, |_| (), |(), i, t| f(i, t))
+}
+
+/// [`run_indexed`] with per-worker state: `init(worker_id)` runs once on each
+/// worker thread, and `f(&mut state, index, &item)` may reuse that state
+/// across all items the worker happens to claim.
+///
+/// Worker state must not make `f`'s *result* depend on the claim schedule —
+/// per-worker caches and scratch buffers are fine exactly when they are
+/// semantically transparent.
+pub fn run_indexed_with<T, R, S, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        let mut state = init(0);
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut state, i, t))
+            .collect();
+    }
+    let workers = threads.min(items.len());
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let init = &init;
+            let f = &f;
+            scope.spawn(move || {
+                let mut state = init(w);
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let r = f(&mut state, i, &items[i]);
+                    if tx.send((i, r)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every item produced a result"))
+            .collect()
+    })
+}
+
+/// Shared job queue of a [`with_pool`] scope.
+struct JobQueue<Job> {
+    queue: Mutex<(VecDeque<Job>, bool)>,
+    ready: Condvar,
+}
+
+impl<Job> JobQueue<Job> {
+    fn new() -> Self {
+        JobQueue {
+            queue: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: Job) {
+        let mut q = self.queue.lock().expect("queue poisoned");
+        q.0.push_back(job);
+        self.ready.notify_one();
+    }
+
+    fn close(&self) {
+        let mut q = self.queue.lock().expect("queue poisoned");
+        q.1 = true;
+        self.ready.notify_all();
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed and drained.
+    fn pop(&self) -> Option<Job> {
+        let mut q = self.queue.lock().expect("queue poisoned");
+        loop {
+            if let Some(job) = q.0.pop_front() {
+                return Some(job);
+            }
+            if q.1 {
+                return None;
+            }
+            q = self.ready.wait(q).expect("queue poisoned");
+        }
+    }
+}
+
+/// Closes a [`JobQueue`] when dropped, so blocked workers wake up and exit
+/// even when the pool body unwinds with a panic — otherwise the implicit
+/// join of `std::thread::scope` would wait on them forever and turn the
+/// panic into a deadlock.
+struct CloseOnDrop<'q, Job>(&'q JobQueue<Job>);
+
+impl<Job> Drop for CloseOnDrop<'_, Job> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+/// Submit/collect handle of a [`with_pool`] scope (used by the body closure).
+pub struct PoolHandle<'p, Job, Out> {
+    jobs: &'p JobQueue<Job>,
+    results: Receiver<std::thread::Result<Out>>,
+    /// Single-thread mode: jobs run here, at submission, on the caller's
+    /// thread (no worker is spawned), and results wait in `buffered`.
+    inline: Option<Box<dyn FnMut(Job) -> Out + 'p>>,
+    buffered: VecDeque<Out>,
+}
+
+impl<Job, Out> PoolHandle<'_, Job, Out> {
+    /// Enqueues one job for the next free worker.
+    ///
+    /// In inline mode (`threads <= 1`) the job runs immediately on the
+    /// caller's thread and its result is buffered for [`PoolHandle::recv`] —
+    /// submission order then equals completion order, matching the serial
+    /// loop exactly.
+    pub fn submit(&mut self, job: Job) {
+        match &mut self.inline {
+            Some(run) => {
+                let out = run(job);
+                self.buffered.push_back(out);
+            }
+            None => self.jobs.push(job),
+        }
+    }
+
+    /// Blocks until one result is available. Results arrive in completion
+    /// order, not submission order — pair each job with an index and reorder
+    /// at the merge. Panics if called with no outstanding job (a bug in the
+    /// caller's bookkeeping), and re-raises a panic that occurred inside
+    /// `work` on a worker thread (so a failing job fails the run instead of
+    /// deadlocking it).
+    pub fn recv(&mut self) -> Out {
+        if self.inline.is_some() {
+            return self
+                .buffered
+                .pop_front()
+                .expect("recv without an outstanding inline job");
+        }
+        match self
+            .results
+            .recv()
+            .expect("worker pool hung up with outstanding jobs")
+        {
+            Ok(out) => out,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+}
+
+impl<'p, Job, Out> PoolHandle<'p, Job, Out> {
+    fn threaded(jobs: &'p JobQueue<Job>, results: Receiver<std::thread::Result<Out>>) -> Self {
+        PoolHandle {
+            jobs,
+            results,
+            inline: None,
+            buffered: VecDeque::new(),
+        }
+    }
+}
+
+/// Runs `body` with a pool of `threads` workers, each holding private state
+/// from `init(worker_id)` and executing jobs with `work`. The pool is torn
+/// down when `body` returns; its return value is passed through.
+///
+/// With `threads <= 1` no thread is spawned: jobs run inline at submission
+/// (serial-exact path). The pool makes **no ordering guarantee** between
+/// results of concurrently executing jobs — determinism comes from the
+/// caller's ordered merge, exactly as with [`run_indexed`].
+pub fn with_pool<Job, Out, S, I, W, F, R>(threads: usize, init: I, work: W, body: F) -> R
+where
+    Job: Send,
+    Out: Send,
+    I: Fn(usize) -> S + Sync,
+    W: Fn(&mut S, Job) -> Out + Sync,
+    F: FnOnce(&mut PoolHandle<'_, Job, Out>) -> R,
+{
+    if threads <= 1 {
+        let mut state = init(0);
+        let queue = JobQueue::new(); // unused, but keeps the handle uniform
+        let (_tx, rx) = channel::<std::thread::Result<Out>>();
+        let mut handle = PoolHandle {
+            jobs: &queue,
+            results: rx,
+            inline: Some(Box::new(move |job| work(&mut state, job))),
+            buffered: VecDeque::new(),
+        };
+        return body(&mut handle);
+    }
+    let queue = JobQueue::new();
+    let (tx, rx) = channel::<std::thread::Result<Out>>();
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let tx = tx.clone();
+            let queue = &queue;
+            let init = &init;
+            let work = &work;
+            scope.spawn(move || {
+                let mut state = init(w);
+                while let Some(job) = queue.pop() {
+                    // A panicking job is shipped back as a result so the body
+                    // thread re-raises it from `recv` — never lost, and the
+                    // other workers (and the body's recv loop) cannot end up
+                    // waiting on a job that silently died. `AssertUnwindSafe`
+                    // is sound here: the panic is resumed immediately on the
+                    // receiving side, so no one observes broken state.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        work(&mut state, job)
+                    }));
+                    let poisoned = result.is_err();
+                    if tx.send(result).is_err() || poisoned {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        // Wake and drain the workers even when `body` unwinds: without the
+        // guard a panic inside `body` would leave them blocked in `pop` and
+        // the scope's implicit join would deadlock instead of propagating.
+        let closer = CloseOnDrop(&queue);
+        let mut handle = PoolHandle::threaded(&queue, rx);
+        let r = body(&mut handle);
+        drop(closer);
+        r
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_indexed_preserves_item_order() {
+        let items: Vec<usize> = (0..257).collect();
+        for threads in [1, 2, 3, 8] {
+            let out = run_indexed(&items, threads, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_indexed_with_reuses_worker_state() {
+        let items: Vec<usize> = (0..64).collect();
+        // The per-worker counter must not leak into results, only into state.
+        let out = run_indexed_with(
+            &items,
+            4,
+            |_| 0usize,
+            |seen, _, &x| {
+                *seen += 1;
+                x + 1
+            },
+        );
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn with_pool_runs_all_jobs_any_thread_count() {
+        for threads in [1, 2, 5] {
+            let total: usize = with_pool(
+                threads,
+                |_| (),
+                |(), job: usize| job * job,
+                |pool| {
+                    for j in 0..20 {
+                        pool.submit(j);
+                    }
+                    (0..20).map(|_| pool.recv()).sum()
+                },
+            );
+            assert_eq!(total, (0..20).map(|j| j * j).sum::<usize>());
+        }
+    }
+
+    #[test]
+    fn with_pool_interleaves_waves() {
+        // Two waves where the second depends on the merged first: the pattern
+        // of the speculative ATPG/learning pipelines.
+        let result = with_pool(
+            3,
+            |_| (),
+            |(), job: usize| job + 100,
+            |pool| {
+                for j in 0..5 {
+                    pool.submit(j);
+                }
+                let mut first: Vec<usize> = (0..5).map(|_| pool.recv()).collect();
+                first.sort_unstable();
+                let offset = first.iter().sum::<usize>();
+                pool.submit(offset);
+                pool.recv()
+            },
+        );
+        assert_eq!(result, (100..105).sum::<usize>() + 100);
+    }
+
+    #[test]
+    fn with_pool_propagates_worker_panics() {
+        // A panicking job must fail the run (re-raised from recv), not
+        // deadlock it with workers blocked on the queue.
+        let result = std::panic::catch_unwind(|| {
+            with_pool(
+                3,
+                |_| (),
+                |(), job: usize| {
+                    assert!(job != 2, "boom on job {job}");
+                    job
+                },
+                |pool| {
+                    for j in 0..5 {
+                        pool.submit(j);
+                    }
+                    (0..5).map(|_| pool.recv()).sum::<usize>()
+                },
+            )
+        });
+        assert!(result.is_err(), "worker panic must propagate");
+    }
+
+    #[test]
+    fn with_pool_unwinds_cleanly_on_body_panic() {
+        // A panic in the body must not leave workers blocked forever (the
+        // close-on-drop guard wakes them); the panic itself propagates.
+        let result = std::panic::catch_unwind(|| {
+            with_pool(
+                2,
+                |_| (),
+                |(), job: usize| job,
+                |pool| {
+                    pool.submit(1);
+                    panic!("body failed before collecting");
+                },
+            )
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn thread_count_ignores_garbage() {
+        // Cannot mutate the process environment safely in tests; just check
+        // the default path is sane.
+        assert!(default_parallelism() >= 1);
+        assert!(thread_count() >= 1);
+    }
+}

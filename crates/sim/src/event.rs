@@ -105,7 +105,15 @@ impl<'a> EventSim<'a> {
     /// One-time from-scratch evaluation of the whole window (the base state
     /// the trail never unwinds past).
     fn init(&mut self, levels: &Levelization) {
-        for frame in 0..self.window {
+        self.eval_frames(levels, 0);
+        self.reset_changed_to_binary();
+    }
+
+    /// From-scratch evaluation of frames `from..window` (earlier frames must
+    /// already hold their base values — frame `from` reads its state from
+    /// frame `from - 1`).
+    fn eval_frames(&mut self, levels: &Levelization, from: usize) {
+        for frame in from..self.window {
             let base = frame * self.num_nodes;
             for &pi in self.netlist.inputs() {
                 self.values[base + pi.index()] = self.frame_input_value(pi);
@@ -117,10 +125,45 @@ impl<'a> EventSim<'a> {
                 self.values[base + id.index()] = self.compute(frame, id);
             }
         }
+    }
+
+    /// Sets [`EventSim::changed`] to every binary slot of the window — the
+    /// post-construction contract consumers use to seed themselves.
+    fn reset_changed_to_binary(&mut self) {
         self.changed = (0..self.values.len())
             .filter(|&slot| self.values[slot].is_binary())
             .map(|slot| slot as u32)
             .collect();
+    }
+
+    /// Widens the window to `new_window` frames **in place**, reusing the
+    /// already evaluated prefix: values propagate strictly frame-forward, so
+    /// the base values of frames `0..window` are unchanged by widening and
+    /// only the appended frames are evaluated (seeded from the last old
+    /// frame's next state). The result is bit-identical to constructing a
+    /// fresh machine at `new_window` — the savings are what the geometric
+    /// window growth of the test generator spends rebuilding otherwise.
+    ///
+    /// The machine must be at its base state: every assignment undone
+    /// ([`EventSim::undo_to`] to mark 0). Afterwards [`EventSim::changed`]
+    /// again lists every binary slot of the (new) whole window, exactly as
+    /// after construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when assignments are still applied or the window would shrink.
+    pub fn grow(&mut self, levels: &Levelization, new_window: usize) {
+        assert!(
+            self.trail.is_empty(),
+            "grow requires the base state — undo all assignments first"
+        );
+        assert!(new_window >= self.window, "the window can only grow");
+        let old_window = self.window;
+        self.window = new_window;
+        self.values.resize(new_window * self.num_nodes, Logic3::X);
+        self.queued.resize(new_window * self.num_nodes, false);
+        self.eval_frames(levels, old_window);
+        self.reset_changed_to_binary();
     }
 
     /// The value an unassigned primary input presents (stuck faults hold the
@@ -409,6 +452,48 @@ mod tests {
         // Pin 0 of g reads the stuck 0; the branch to h is healthy.
         assert_eq!(sim.value(0, g), Logic3::Zero);
         assert_eq!(sim.value(0, n.require("h").unwrap()), Logic3::One);
+    }
+
+    #[test]
+    fn grow_matches_fresh_construction() {
+        let n = pipelined();
+        let levels = levelize(&n).unwrap();
+        let g = n.require("g").unwrap();
+        for fault in [None, Some(Fault::output(g, true))] {
+            let mut grown = EventSim::with_levels(&n, &levels, 1, fault);
+            // Decide, undo to base, then grow 1 -> 2 -> 4.
+            let a = n.require("a").unwrap();
+            let mark = grown.mark();
+            grown.assign(0, a, true);
+            grown.undo_to(mark);
+            for w in [2usize, 4] {
+                grown.grow(&levels, w);
+                let fresh = EventSim::with_levels(&n, &levels, w, fault);
+                assert_eq!(grown.values(), fresh.values(), "window {w}");
+                assert_eq!(grown.changed(), fresh.changed(), "window {w}");
+                assert_eq!(grown.window(), fresh.window());
+            }
+            // The grown machine keeps working incrementally.
+            let b = n.require("b").unwrap();
+            let q = n.require("q").unwrap();
+            grown.assign(0, a, true);
+            grown.assign(0, b, true);
+            let mut fresh = EventSim::with_levels(&n, &levels, 4, fault);
+            fresh.assign(0, a, true);
+            fresh.assign(0, b, true);
+            assert_eq!(grown.value(1, q), fresh.value(1, q));
+            assert_eq!(grown.values(), fresh.values());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "base state")]
+    fn grow_rejects_applied_assignments() {
+        let n = pipelined();
+        let levels = levelize(&n).unwrap();
+        let mut sim = EventSim::with_levels(&n, &levels, 1, None);
+        sim.assign(0, n.require("a").unwrap(), true);
+        sim.grow(&levels, 2);
     }
 
     #[test]

@@ -8,6 +8,10 @@ use seqlearn::circuits::{industrial_circuit, IndustrialConfig};
 use seqlearn::learn::classes::clock_classes;
 use seqlearn::learn::{LearnConfig, SequentialLearner};
 
+#[path = "util/stable.rs"]
+mod stable;
+use stable::cpu;
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let netlist = industrial_circuit(&IndustrialConfig::default());
     let stats = netlist.stats();
@@ -27,13 +31,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let result = SequentialLearner::new(&netlist, LearnConfig::default()).learn()?;
     println!(
-        "\nLearned {} relations ({} FF-FF, {} gate-FF) and {} tied gates across {} classes in {:?}",
+        "\nLearned {} relations ({} FF-FF, {} gate-FF) and {} tied gates across {} classes in {}",
         result.stats.total.total(),
         result.stats.total.ff_ff,
         result.stats.total.gate_ff,
         result.tied.len(),
         result.stats.classes,
-        result.stats.cpu
+        cpu(result.stats.cpu)
     );
 
     // Every learned FF-FF relation stays within one clock domain.

@@ -19,6 +19,10 @@ use seqlearn::learn::{LearnConfig, SequentialLearner};
 use seqlearn::netlist::Netlist;
 use seqlearn::sim::collapsed_fault_list;
 
+#[path = "util/stable.rs"]
+mod stable;
+use stable::cpu;
+
 fn run_workload(
     netlist: &Netlist,
     max_faults: usize,
@@ -34,11 +38,11 @@ fn run_workload(
     // Preprocessing: sequential learning.
     let learn = SequentialLearner::new(netlist, LearnConfig::default()).learn()?;
     println!(
-        "Learning: {} FF-FF relations, {} gate-FF relations, {} tied gates in {:?}",
+        "Learning: {} FF-FF relations, {} gate-FF relations, {} tied gates in {}",
         learn.stats.total.ff_ff,
         learn.stats.total.gate_ff,
         learn.tied.len(),
-        learn.stats.cpu
+        cpu(learn.stats.cpu)
     );
     let learned = LearnedData::from(&learn);
 
@@ -61,12 +65,12 @@ fn run_workload(
         .with_learned(learned.clone());
         let run = engine.run(&faults);
         println!(
-            "{label:<30} detected {:>3}  untestable {:>3}  aborted {:>3}  backtracks {:>6}  cpu {:?}",
+            "{label:<30} detected {:>3}  untestable {:>3}  aborted {:>3}  backtracks {:>6}  cpu {}",
             run.stats.detected,
             run.stats.untestable,
             run.stats.aborted,
             run.stats.backtracks,
-            run.stats.cpu
+            cpu(run.stats.cpu)
         );
     }
     println!();

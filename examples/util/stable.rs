@@ -1,0 +1,16 @@
+//! Shared helper for the examples on the CI determinism matrix: wall-clock
+//! fields are the only legitimately run-dependent output, so they are
+//! suppressed under `SLA_STABLE_OUTPUT` and the matrix byte-diffs the rest
+//! across `SLA_THREADS` values. Included per example via `#[path]` (a
+//! directory without `main.rs` is not an example target).
+
+use std::time::Duration;
+
+/// Formats a wall-clock duration, or `-` under `SLA_STABLE_OUTPUT`.
+pub fn cpu(d: Duration) -> String {
+    if std::env::var_os("SLA_STABLE_OUTPUT").is_some() {
+        "-".to_string()
+    } else {
+        format!("{d:?}")
+    }
+}

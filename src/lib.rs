@@ -40,5 +40,6 @@ pub use sla_atpg as atpg;
 pub use sla_circuits as circuits;
 pub use sla_core as learn;
 pub use sla_netlist as netlist;
+pub use sla_par as par;
 pub use sla_redundancy as redundancy;
 pub use sla_sim as sim;

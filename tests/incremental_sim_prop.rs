@@ -276,4 +276,65 @@ proptest! {
             }
         }
     }
+
+    /// Window growth (the generator's 1 → 2 → 4 → 8 widening) reuses the
+    /// filled prefix frames instead of rebuilding the machines per window
+    /// size; a grown machine must be bit-identical to a freshly constructed
+    /// one — base values of both machines, changed-slot lists, D-frontier and
+    /// detection — and must keep agreeing with the from-scratch reference
+    /// under decisions made after the growth.
+    #[test]
+    fn grown_machines_equal_freshly_built_machines(
+        seed in 0u64..300,
+        flip_flops in 1usize..6,
+        gates in 6usize..30,
+        decide in 0usize..6,
+    ) {
+        let netlist = small_synth(seed, flip_flops, gates);
+        let levels = levelize(&netlist).unwrap();
+        let mut bits = Bits(seed.wrapping_mul(0x2545f4914f6cdd1d) + 11);
+        let faults = full_fault_list(&netlist);
+        let fault = faults[(bits.next() % faults.len() as u64) as usize];
+        let pis = netlist.inputs().to_vec();
+        let reference_gen =
+            TestGenerator::new(&netlist, AtpgConfig::default(), &LearnedData::new()).unwrap();
+
+        let mut machines = SearchMachines::new(&netlist, &levels, 1, fault);
+        // Dirty the trails as an exhausted search would, then rewind + grow.
+        for _ in 0..decide {
+            let pi = pis[(bits.next() % pis.len() as u64) as usize];
+            if machines.good().value(0, pi) == Logic3::X {
+                machines.assign(0, pi, bits.next().is_multiple_of(2));
+            }
+        }
+        for window in [2usize, 4, 8] {
+            machines.rewind_to_base();
+            machines.grow(&levels, window);
+            let fresh = SearchMachines::new(&netlist, &levels, window, fault);
+            prop_assert_eq!(machines.good().values(), fresh.good().values());
+            prop_assert_eq!(machines.faulty().values(), fresh.faulty().values());
+            prop_assert_eq!(machines.good().changed(), fresh.good().changed());
+            prop_assert_eq!(machines.faulty().changed(), fresh.faulty().changed());
+            prop_assert_eq!(machines.d_frontier(), fresh.d_frontier());
+            prop_assert_eq!(machines.detected(), fresh.detected());
+
+            // Decisions after the growth still track the from-scratch
+            // reference in every frame, old and appended alike.
+            let mut assigned: HashMap<(usize, u32), bool> = HashMap::new();
+            for _ in 0..3 {
+                let frame = (bits.next() % window as u64) as usize;
+                let pi = pis[(bits.next() % pis.len() as u64) as usize];
+                if machines.good().value(frame, pi) == Logic3::X {
+                    let value = bits.next().is_multiple_of(2);
+                    machines.assign(frame, pi, value);
+                    assigned.insert((frame, pi.0), value);
+                }
+            }
+            let (good, faulty) = reference_gen.simulate_reference(&fault, window, &assigned);
+            for t in 0..window {
+                prop_assert_eq!(machines.good().frame(t), good[t].as_slice(), "frame {}", t);
+                prop_assert_eq!(machines.faulty().frame(t), faulty[t].as_slice(), "frame {}", t);
+            }
+        }
+    }
 }

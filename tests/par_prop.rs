@@ -1,0 +1,167 @@
+//! Property tests for the deterministic thread-sharding contract: on random
+//! netlists and random thread counts, an `N`-thread run must be bit-identical
+//! to the single-thread reference — the merged implication database (same
+//! canonical relations in the same insertion order), the tie list, cross-frame
+//! relations, learning statistics, and per-fault ATPG verdicts, backtrack /
+//! decision counts and generated sequences.
+//!
+//! Thread counts are passed explicitly (`learn_with_threads` /
+//! `run_with_threads`) rather than through `SLA_THREADS`: the environment is
+//! process-global and cannot be varied per proptest case. The CI determinism
+//! matrix covers the environment-variable path end to end.
+
+use proptest::prelude::*;
+use seqlearn::atpg::{AtpgConfig, AtpgEngine, LearnedData, LearningMode};
+use seqlearn::circuits::{synthesize, SynthConfig};
+use seqlearn::learn::{LearnConfig, SequentialLearner};
+use seqlearn::netlist::Netlist;
+use seqlearn::sim::collapsed_fault_list;
+
+fn small_synth(seed: u64, flip_flops: usize, gates: usize) -> Netlist {
+    synthesize(&SynthConfig {
+        name: format!("par{seed}"),
+        inputs: 4,
+        outputs: 3,
+        flip_flops,
+        gates,
+        max_fanin: 3,
+        seed,
+    })
+}
+
+/// The thread counts the property runs: the serial reference, small counts
+/// (odd on purpose — uneven shards) and an oversubscribed one.
+const THREAD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `SequentialLearner::learn_with_threads(N)` ≡ single-thread learning:
+    /// database, ties, cross-frame relations and every reported statistic.
+    #[test]
+    fn sharded_learning_is_bit_identical_to_single_thread(
+        seed in 0u64..300,
+        flip_flops in 2usize..8,
+        gates in 10usize..60,
+        cross_pick in 0usize..2,
+    ) {
+        let netlist = small_synth(seed, flip_flops, gates);
+        let config = LearnConfig {
+            learn_cross_frame: cross_pick == 1,
+            ..LearnConfig::default()
+        };
+        let learner = SequentialLearner::new(&netlist, config);
+        let reference = learner.learn_with_threads(1).unwrap();
+        for threads in THREAD_COUNTS {
+            let run = learner.learn_with_threads(threads).unwrap();
+            // The database's canonical list is insertion-ordered: equality
+            // here is the bit-identical-merge claim, not just set equality.
+            prop_assert_eq!(
+                reference.implications.iter().collect::<Vec<_>>(),
+                run.implications.iter().collect::<Vec<_>>(),
+                "implication database diverged at {} threads (seed {})", threads, seed
+            );
+            prop_assert_eq!(&reference.tied, &run.tied,
+                "tie list diverged at {} threads (seed {})", threads, seed);
+            prop_assert_eq!(&reference.cross_frame, &run.cross_frame,
+                "cross-frame relations diverged at {} threads (seed {})", threads, seed);
+            prop_assert_eq!(reference.stats.total, run.stats.total);
+            prop_assert_eq!(reference.stats.sequential, run.stats.sequential);
+            prop_assert_eq!(reference.stats.stems, run.stats.stems);
+            prop_assert_eq!(reference.stats.classes, run.stats.classes);
+            prop_assert_eq!(reference.stats.multi_node_targets, run.stats.multi_node_targets,
+                "multi-node target count diverged at {} threads (seed {})", threads, seed);
+            prop_assert_eq!(reference.stats.tied_combinational, run.stats.tied_combinational);
+            prop_assert_eq!(reference.stats.tied_sequential, run.stats.tied_sequential);
+        }
+    }
+
+    /// `AtpgEngine::run_with_threads(N)` ≡ the serial run: per-fault statuses,
+    /// backtrack and decision totals, and the generated sequences — with the
+    /// learned data attached and fault dropping active (the coupling the wave
+    /// merge must replay exactly).
+    #[test]
+    fn sharded_atpg_is_bit_identical_to_single_thread(
+        seed in 0u64..200,
+        flip_flops in 2usize..7,
+        gates in 10usize..40,
+        mode_pick in 0usize..3,
+        drop_pick in 0usize..2,
+    ) {
+        let netlist = small_synth(seed, flip_flops, gates);
+        let learned = LearnedData::from(
+            &SequentialLearner::new(&netlist, LearnConfig::default())
+                .learn_with_threads(1)
+                .unwrap(),
+        );
+        let mode = [LearningMode::None, LearningMode::ForbiddenValue, LearningMode::KnownValue]
+            [mode_pick];
+        let config = AtpgConfig {
+            fault_dropping: drop_pick == 1,
+            ..AtpgConfig::with_backtrack_limit(20).learning(mode)
+        };
+        let engine = AtpgEngine::new(&netlist, config)
+            .unwrap()
+            .with_learned(learned);
+        let mut faults = collapsed_fault_list(&netlist);
+        faults.truncate(40);
+        let reference = engine.run_with_threads(&faults, 1);
+        for threads in THREAD_COUNTS {
+            let run = engine.run_with_threads(&faults, threads);
+            prop_assert_eq!(&reference.status, &run.status,
+                "per-fault statuses diverged at {} threads (seed {})", threads, seed);
+            prop_assert_eq!(&reference.sequences, &run.sequences,
+                "sequences diverged at {} threads (seed {})", threads, seed);
+            prop_assert_eq!(reference.stats.backtracks, run.stats.backtracks,
+                "backtracks diverged at {} threads (seed {})", threads, seed);
+            prop_assert_eq!(reference.stats.decisions, run.stats.decisions,
+                "decisions diverged at {} threads (seed {})", threads, seed);
+            prop_assert_eq!(reference.stats.detected, run.stats.detected);
+            prop_assert_eq!(reference.stats.untestable, run.stats.untestable);
+            prop_assert_eq!(reference.stats.aborted, run.stats.aborted);
+            prop_assert_eq!(reference.stats.untestable_from_ties, run.stats.untestable_from_ties);
+            prop_assert_eq!(reference.stats.test_vectors, run.stats.test_vectors);
+        }
+    }
+}
+
+/// The full-pipeline smoke: learning feeds ATPG, both sharded, against both
+/// serial — on the structured generators the benchmarks use (not just the
+/// random synthesizer).
+#[test]
+fn sharded_pipeline_matches_serial_on_structured_workloads() {
+    use seqlearn::circuits::{retimed_circuit, table5_circuit, RetimedConfig, Table5Config};
+    let retimed = retimed_circuit(&RetimedConfig {
+        master_bits: 3,
+        derived_bits: 6,
+        extra_gates: 16,
+        inputs: 4,
+        ..RetimedConfig::default()
+    });
+    let table5 = table5_circuit(&Table5Config::default());
+    for netlist in [&retimed, &table5] {
+        let learner = SequentialLearner::new(netlist, LearnConfig::default());
+        let learn_ref = learner.learn_with_threads(1).unwrap();
+        let learn_par = learner.learn_with_threads(4).unwrap();
+        assert_eq!(
+            learn_ref.implications.iter().collect::<Vec<_>>(),
+            learn_par.implications.iter().collect::<Vec<_>>()
+        );
+        assert_eq!(learn_ref.tied, learn_par.tied);
+
+        let engine = AtpgEngine::new(
+            netlist,
+            AtpgConfig::with_backtrack_limit(30).learning(LearningMode::ForbiddenValue),
+        )
+        .unwrap()
+        .with_learned(LearnedData::from(&learn_ref));
+        let mut faults = collapsed_fault_list(netlist);
+        faults.truncate(80);
+        let run_ref = engine.run_with_threads(&faults, 1);
+        let run_par = engine.run_with_threads(&faults, 4);
+        assert_eq!(run_ref.status, run_par.status);
+        assert_eq!(run_ref.sequences, run_par.sequences);
+        assert_eq!(run_ref.stats.backtracks, run_par.stats.backtracks);
+        assert_eq!(run_ref.stats.decisions, run_par.stats.decisions);
+    }
+}

@@ -237,6 +237,26 @@ impl Criterion {
     }
 }
 
+/// The worker-thread count the workspace's sharded entry points resolve from
+/// the environment: `SLA_THREADS` when it parses to a positive integer,
+/// otherwise the machine's available parallelism. Kept in sync with
+/// `sla_par::thread_count` by contract (the stub cannot depend on workspace
+/// crates — swapping in the real criterion must stay a manifest-only change).
+fn resolved_threads() -> usize {
+    let fallback = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    match std::env::var("SLA_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => fallback(),
+        },
+        Err(_) => fallback(),
+    }
+}
+
 /// Called by `criterion_main!` after all groups ran: writes the JSON summary if
 /// `SLA_BENCH_JSON` names a file.
 pub fn finalize() {
@@ -246,12 +266,25 @@ pub fn finalize() {
             // One JSON object per line (JSON Lines): several bench binaries
             // append to the same file in sequence, and per-line objects stay
             // trivially machine-readable without cross-process coordination.
+            //
+            // `threads` / `available_parallelism` record the environment the
+            // run was measured under (the resolved `SLA_THREADS` default any
+            // `learn()` / `run()` call inherits); `benchdiff` refuses to gate
+            // runs against baselines recorded under a different thread count.
+            // Benches that pin an explicit count encode it in the bench id
+            // instead (e.g. `…/threads/4`).
+            let threads = resolved_threads();
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
             let mut out = String::new();
             for r in records.iter() {
                 out.push_str(&format!(
                     "{{\"group\": {:?}, \"bench\": {:?}, \"samples\": {}, \
-                     \"mean_ns\": {:.0}, \"median_ns\": {:.0}, \"min_ns\": {:.0}, \"max_ns\": {:.0}}}\n",
+                     \"mean_ns\": {:.0}, \"median_ns\": {:.0}, \"min_ns\": {:.0}, \"max_ns\": {:.0}, \
+                     \"threads\": {}, \"available_parallelism\": {}}}\n",
                     r.group, r.bench, r.samples, r.mean_ns, r.median_ns, r.min_ns, r.max_ns,
+                    threads, cores,
                 ));
             }
             if let Err(e) = append_json(&path, &out) {
