@@ -44,6 +44,11 @@ pub struct AtpgStats {
     pub sequences: usize,
     /// Total number of test vectors (frames) across all sequences.
     pub test_vectors: usize,
+    /// Speculative generations discarded because an earlier-merged sequence
+    /// dropped the fault before its merge turn (always 0 on the serial
+    /// path). A perf diagnostic: it varies with the thread count and wave
+    /// partition, never with the verdicts.
+    pub wasted_speculations: usize,
     /// Wall-clock time of the run.
     pub cpu: Duration,
 }
@@ -193,6 +198,16 @@ impl<'a> AtpgEngine<'a> {
                 );
             }
         } else {
+            // Fanout-cone masks of the fault sites, used to partition the
+            // speculative waves: a test generated for fault *i* mostly
+            // exercises *i*'s cone, so faults whose cones are disjoint are
+            // rarely dropped by each other's sequences — speculating them
+            // together wastes almost nothing. This is a heuristic, not a
+            // soundness argument: the strict fault-order merge below replays
+            // the drop protocol regardless of how the waves were cut, so
+            // only the wasted-speculation count depends on it.
+            let cones = FaultCones::build(self.netlist, faults);
+            let mut wasted = 0usize;
             sla_par::with_pool(
                 threads,
                 |_worker| {
@@ -202,65 +217,92 @@ impl<'a> AtpgEngine<'a> {
                 |generator, idx: usize| (idx, generator.generate(&faults[idx])),
                 |pool| {
                     // Speculation depth: at least one fault per worker; grows
-                    // on drop-free waves, shrinks when a quarter of a wave
-                    // was dropped by its own earlier faults (their
-                    // generations were wasted). All of this is a pure
-                    // function of merged state, so wave boundaries — which
-                    // affect only performance — are deterministic too.
+                    // on waste-free merges, shrinks when a quarter of the
+                    // merged results had been dropped by earlier sequences.
+                    // All of this is a pure function of merged state, so wave
+                    // boundaries — which affect only performance — are
+                    // deterministic too.
                     let mut wave_cap = threads;
                     let mut next = 0usize;
                     let mut results: HashMap<usize, GenResult> = HashMap::new();
-                    while next < faults.len() {
-                        let mut wave = Vec::new();
-                        let mut scan = next;
-                        while wave.len() < wave_cap && scan < faults.len() {
-                            if status[scan].is_none() {
-                                wave.push(scan);
+                    let mut union = cones.empty_mask();
+                    let mut last_wave = 0usize;
+                    let mut wasted_before = 0usize;
+                    loop {
+                        // Ordered merge: strictly ascending fault index,
+                        // replaying the serial loop (including dropping). A
+                        // speculative result may wait here across waves until
+                        // every earlier fault is classified — generation is a
+                        // pure function of the fault, so a held result stays
+                        // valid as long as its fault is unclassified.
+                        while next < faults.len() {
+                            if status[next].is_some() {
+                                // Classified without a search (tied screening
+                                // or dropped): the serial run never searched
+                                // it — a speculative result is wasted work.
+                                if results.remove(&next).is_some() {
+                                    wasted += 1;
+                                }
+                                next += 1;
+                            } else if let Some(result) = results.remove(&next) {
+                                self.absorb(
+                                    next,
+                                    result,
+                                    faults,
+                                    &fault_sim,
+                                    &mut status,
+                                    &mut stats,
+                                    &mut sequences,
+                                );
+                                next += 1;
+                            } else {
+                                break;
                             }
-                            scan += 1;
                         }
-                        if wave.is_empty() {
-                            next = scan;
-                            continue;
+                        if last_wave > 0 {
+                            let wave_waste = wasted - wasted_before;
+                            if wave_waste * 4 >= last_wave {
+                                wave_cap = (wave_cap / 2).max(threads);
+                            } else if wave_waste == 0 {
+                                wave_cap = (wave_cap * 2).min(8 * threads);
+                            }
                         }
-                        for &idx in &wave {
-                            pool.submit(idx);
+                        if next >= faults.len() {
+                            break;
+                        }
+                        // Build the next wave: the merge blocker itself (so
+                        // every wave guarantees progress), then upcoming
+                        // unclassified faults whose cones are disjoint from
+                        // everything already in the wave.
+                        let mut wave = vec![next];
+                        union.copy_from(cones.mask(next));
+                        let scan_limit = 8 * wave_cap;
+                        let mut idx = next + 1;
+                        let mut scanned = 0usize;
+                        while wave.len() < wave_cap && idx < faults.len() && scanned < scan_limit {
+                            if status[idx].is_none()
+                                && !results.contains_key(&idx)
+                                && union.disjoint(cones.mask(idx))
+                            {
+                                union.union_with(cones.mask(idx));
+                                wave.push(idx);
+                            }
+                            scanned += 1;
+                            idx += 1;
+                        }
+                        for &i in &wave {
+                            pool.submit(i);
                         }
                         for _ in 0..wave.len() {
-                            let (idx, result) = pool.recv();
-                            results.insert(idx, result);
+                            let (i, result) = pool.recv();
+                            results.insert(i, result);
                         }
-                        // Ordered merge: strictly ascending fault index,
-                        // replaying the serial loop (including dropping).
-                        let mut discarded = 0usize;
-                        for &idx in &wave {
-                            let result = results.remove(&idx).expect("wave result");
-                            if status[idx].is_some() {
-                                // Dropped by an earlier-merged sequence of
-                                // this very wave: the serial run never
-                                // searched this fault — discard.
-                                discarded += 1;
-                                continue;
-                            }
-                            self.absorb(
-                                idx,
-                                result,
-                                faults,
-                                &fault_sim,
-                                &mut status,
-                                &mut stats,
-                                &mut sequences,
-                            );
-                        }
-                        next = scan;
-                        if discarded * 4 >= wave.len() {
-                            wave_cap = (wave_cap / 2).max(threads);
-                        } else if discarded == 0 {
-                            wave_cap = (wave_cap * 2).min(8 * threads);
-                        }
+                        last_wave = wave.len();
+                        wasted_before = wasted;
                     }
                 },
             );
+            stats.wasted_speculations = wasted;
         }
 
         let status: Vec<FaultStatus> = status
@@ -327,6 +369,90 @@ impl<'a> AtpgEngine<'a> {
             GenOutcome::Untestable => status[i] = Some(FaultStatus::Untestable),
             GenOutcome::Aborted => status[i] = Some(FaultStatus::Aborted),
         }
+    }
+}
+
+/// A word-packed node set (one bit per netlist node).
+#[derive(Clone)]
+struct ConeMask(Vec<u64>);
+
+impl ConeMask {
+    fn empty(words: usize) -> ConeMask {
+        ConeMask(vec![0; words])
+    }
+
+    #[inline]
+    fn get(&self, idx: usize) -> bool {
+        self.0[idx / 64] & (1 << (idx % 64)) != 0
+    }
+
+    #[inline]
+    fn set(&mut self, idx: usize) {
+        self.0[idx / 64] |= 1 << (idx % 64);
+    }
+
+    fn disjoint(&self, other: &ConeMask) -> bool {
+        self.0.iter().zip(&other.0).all(|(a, b)| a & b == 0)
+    }
+
+    fn union_with(&mut self, other: &ConeMask) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a |= b;
+        }
+    }
+
+    fn copy_from(&mut self, other: &ConeMask) {
+        self.0.copy_from_slice(&other.0);
+    }
+}
+
+/// Fanout-cone masks of the fault sites, deduplicated by site node (every
+/// fault on one gate — both polarities, every pin — shares the gate's cone).
+struct FaultCones {
+    masks: Vec<ConeMask>,
+    index: Vec<usize>,
+    words: usize,
+}
+
+impl FaultCones {
+    fn build(netlist: &Netlist, faults: &[Fault]) -> FaultCones {
+        let words = netlist.num_nodes().div_ceil(64);
+        let mut by_node: HashMap<u32, usize> = HashMap::new();
+        let mut masks: Vec<ConeMask> = Vec::new();
+        let index = faults
+            .iter()
+            .map(|f| {
+                let start = f.site.node();
+                *by_node.entry(start.0).or_insert_with(|| {
+                    let mut mask = ConeMask::empty(words);
+                    mask.set(start.index());
+                    let mut stack = vec![start];
+                    while let Some(x) = stack.pop() {
+                        for &fo in netlist.fanouts(x) {
+                            if !mask.get(fo.index()) {
+                                mask.set(fo.index());
+                                stack.push(fo);
+                            }
+                        }
+                    }
+                    masks.push(mask);
+                    masks.len() - 1
+                })
+            })
+            .collect();
+        FaultCones {
+            masks,
+            index,
+            words,
+        }
+    }
+
+    fn mask(&self, fault: usize) -> &ConeMask {
+        &self.masks[self.index[fault]]
+    }
+
+    fn empty_mask(&self) -> ConeMask {
+        ConeMask::empty(self.words)
     }
 }
 
@@ -492,6 +618,31 @@ mod tests {
                     "t={threads}"
                 );
             }
+        }
+    }
+
+    /// Cone-disjoint wave partitioning bounds speculation waste: faults with
+    /// non-overlapping fault cones are rarely dropped by each other's
+    /// sequences, so speculating them together wastes almost nothing. The
+    /// counts are pinned — a deterministic function of the workload and
+    /// thread count — so a regression in the partition (or a return to
+    /// blind contiguous waves, which measurably wasted speculations on this
+    /// workload during development) shows up here.
+    #[test]
+    fn cone_disjoint_waves_bound_speculation_waste() {
+        let n = sample();
+        let faults = full_fault_list(&n);
+        let engine = AtpgEngine::new(&n, AtpgConfig::default()).unwrap();
+        let serial = engine.run_with_threads(&faults, 1);
+        assert_eq!(serial.stats.wasted_speculations, 0, "serial never wastes");
+        for threads in [2, 4] {
+            let sharded = engine.run_with_threads(&faults, threads);
+            assert_eq!(serial.status, sharded.status, "t={threads}");
+            assert_eq!(
+                sharded.stats.wasted_speculations, 0,
+                "cone-disjoint waves must not waste a single speculation on \
+                 this workload (t={threads})"
+            );
         }
     }
 

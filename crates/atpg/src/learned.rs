@@ -17,18 +17,22 @@
 //!   a from-scratch rebuild.
 
 use crate::config::LearningMode;
-use sla_core::{ImplicationDb, LearnResult};
+use sla_core::{CrossImplication, ImplicationDb, LearnResult};
 use sla_netlist::NodeId;
 use sla_sim::Logic3;
 
 /// Learned data in the form the test generator consumes: the implication
-/// database plus tied-gate constants.
+/// database, tied-gate constants and the cross-frame relations.
 #[derive(Debug, Clone, Default)]
 pub struct LearnedData {
     /// Same-frame implications (with contrapositive closure).
     implications: ImplicationDb,
     /// Tied gates as constants, sorted by node id for binary search.
     tied: Vec<(NodeId, bool)>,
+    /// Cross-frame relations (`antecedent @ T → consequent @ T + offset`),
+    /// sorted and deduplicated. Empty unless the learner ran with
+    /// `learn_cross_frame` — the search works unchanged without them.
+    cross_frame: Vec<CrossImplication>,
 }
 
 impl LearnedData {
@@ -41,17 +45,39 @@ impl LearnedData {
     pub fn from_parts(implications: ImplicationDb, mut tied: Vec<(NodeId, bool)>) -> Self {
         tied.sort_by_key(|&(n, _)| n);
         tied.dedup_by_key(|&mut (n, _)| n);
-        LearnedData { implications, tied }
+        LearnedData {
+            implications,
+            tied,
+            cross_frame: Vec::new(),
+        }
     }
 
-    /// Extracts the ATPG-relevant part of a learning result.
+    /// Attaches cross-frame relations (sorted and deduplicated here, so any
+    /// insertion order yields the same compiled adjacency).
+    pub fn with_cross_frame(mut self, mut cross: Vec<CrossImplication>) -> Self {
+        cross.sort_unstable();
+        cross.dedup();
+        self.cross_frame = cross;
+        self
+    }
+
+    /// Extracts the ATPG-relevant part of a learning result, including any
+    /// collected cross-frame relations (already in the canonical order of
+    /// [`LearnResult::cross_frame_deduped`]; the re-sort in
+    /// [`LearnedData::with_cross_frame`] is an idempotent guard).
     pub fn from_learn_result(result: &LearnResult) -> Self {
         LearnedData::from_parts(result.implications.clone(), result.tied_constants())
+            .with_cross_frame(result.cross_frame_deduped())
     }
 
     /// The learned same-frame implications.
     pub fn implications(&self) -> &ImplicationDb {
         &self.implications
+    }
+
+    /// The cross-frame relations, sorted and deduplicated.
+    pub fn cross_frame(&self) -> &[CrossImplication] {
+        &self.cross_frame
     }
 
     /// The tied gates as `(node, value)` constants, sorted by node id.
@@ -69,7 +95,7 @@ impl LearnedData {
 
     /// Returns `true` when there is nothing to use.
     pub fn is_empty(&self) -> bool {
-        self.implications.is_empty() && self.tied.is_empty()
+        self.implications.is_empty() && self.tied.is_empty() && self.cross_frame.is_empty()
     }
 }
 
@@ -85,25 +111,47 @@ fn code(node: NodeId, value: bool) -> u32 {
     node.0 * 2 + value as u32
 }
 
-/// CSR-style adjacency view of an [`ImplicationDb`]: for every literal, the
-/// consequent literals of its direct implications (contrapositives included),
-/// as flat index arrays. Built once per test-generation run so the search
-/// loop never hashes.
+/// CSR-style adjacency view of an [`ImplicationDb`] plus cross-frame
+/// relations: for every literal, the consequent literals of its direct
+/// implications (contrapositives included), as flat index arrays — the
+/// same-frame consequents in `targets`, the cross-frame consequents in
+/// `cross_targets` together with their frame offsets. Built once per
+/// test-generation run so the search loop never hashes.
 #[derive(Debug, Clone, Default)]
 pub struct LiteralAdjacency {
     /// `offsets[lit] .. offsets[lit + 1]` indexes `targets`.
     offsets: Vec<u32>,
-    /// Consequent literal codes.
+    /// Same-frame consequent literal codes.
     targets: Vec<u32>,
-    /// Nodes with at least one edge. Contrapositive closure makes the
-    /// antecedent and consequent node sets identical, so these are exactly
-    /// the nodes the implication layer can ever see events or hints on.
+    /// `cross_offsets[lit] .. cross_offsets[lit + 1]` indexes `cross_targets`
+    /// (empty when no cross-frame relations were supplied).
+    cross_offsets: Vec<u32>,
+    /// Cross-frame consequents: `(literal code, frame offset)` — the
+    /// consequent holds `offset` frames after the antecedent's frame (the
+    /// offset may be negative; a contrapositive negates it).
+    cross_targets: Vec<(u32, i32)>,
+    /// Nodes with at least one (same- or cross-frame) edge. Contrapositive
+    /// closure makes the antecedent and consequent node sets identical, so
+    /// these are exactly the nodes the implication layer can ever see events
+    /// on.
     relevant: Vec<u32>,
 }
 
 impl LiteralAdjacency {
-    /// Builds the adjacency for a netlist of `num_nodes` nodes.
+    /// Builds the adjacency for a netlist of `num_nodes` nodes from
+    /// same-frame implications only.
     pub fn build(db: &ImplicationDb, num_nodes: usize) -> Self {
+        LiteralAdjacency::build_with_cross(db, &[], num_nodes)
+    }
+
+    /// Builds the adjacency from same-frame implications and cross-frame
+    /// relations. Each cross relation contributes its edge and its
+    /// contrapositive (`¬consequent @ T → ¬antecedent @ T − offset`).
+    pub fn build_with_cross(
+        db: &ImplicationDb,
+        cross: &[CrossImplication],
+        num_nodes: usize,
+    ) -> Self {
         let literals = num_nodes * 2;
         let edges = || {
             db.iter().flat_map(|(imp, _)| {
@@ -136,20 +184,68 @@ impl LiteralAdjacency {
             let (s, e) = (offsets[lit] as usize, offsets[lit + 1] as usize);
             targets[s..e].sort_unstable();
         }
+
+        // Cross-frame edges: flat `(antecedent code, consequent code, offset)`
+        // triples including contrapositives, sorted for a deterministic CSR
+        // and deduplicated (a relation and another's contrapositive can
+        // coincide).
+        let (cross_offsets, cross_targets) = if cross.is_empty() {
+            (Vec::new(), Vec::new())
+        } else {
+            let mut edges: Vec<(u32, u32, i32)> = cross
+                .iter()
+                .flat_map(|ci| {
+                    [
+                        (
+                            code(ci.antecedent.node, ci.antecedent.value),
+                            code(ci.consequent.node, ci.consequent.value),
+                            ci.offset,
+                        ),
+                        (
+                            code(ci.consequent.node, !ci.consequent.value),
+                            code(ci.antecedent.node, !ci.antecedent.value),
+                            -ci.offset,
+                        ),
+                    ]
+                })
+                .filter(|&(_, _, off)| off != 0)
+                .collect();
+            edges.sort_unstable();
+            edges.dedup();
+            let mut cross_offsets = vec![0u32; literals + 1];
+            for &(a, _, _) in &edges {
+                cross_offsets[a as usize + 1] += 1;
+            }
+            for i in 1..cross_offsets.len() {
+                cross_offsets[i] += cross_offsets[i - 1];
+            }
+            let cross_targets = edges.into_iter().map(|(_, c, off)| (c, off)).collect();
+            (cross_offsets, cross_targets)
+        };
+
+        let has_cross = |n: u32| {
+            if cross_offsets.is_empty() {
+                return false;
+            }
+            let lit0 = n as usize * 2;
+            cross_offsets[lit0 + 2] > cross_offsets[lit0]
+        };
         let relevant = (0..num_nodes as u32)
             .filter(|&n| {
                 let lit0 = n as usize * 2;
-                offsets[lit0 + 2] > offsets[lit0]
+                offsets[lit0 + 2] > offsets[lit0] || has_cross(n)
             })
             .collect();
         LiteralAdjacency {
             offsets,
             targets,
+            cross_offsets,
+            cross_targets,
             relevant,
         }
     }
 
-    /// Consequent literal codes of `lit`.
+    /// Same-frame consequent literal codes of `lit`.
     #[inline]
     fn consequents(&self, lit: u32) -> &[u32] {
         let s = self.offsets[lit as usize] as usize;
@@ -157,14 +253,31 @@ impl LiteralAdjacency {
         &self.targets[s..e]
     }
 
-    /// Returns `true` when no implication is stored.
-    pub fn is_empty(&self) -> bool {
-        self.targets.is_empty()
+    /// Cross-frame consequents of `lit` as `(literal code, frame offset)`.
+    #[inline]
+    fn cross_consequents(&self, lit: u32) -> &[(u32, i32)] {
+        if self.cross_offsets.is_empty() {
+            return &[];
+        }
+        let s = self.cross_offsets[lit as usize] as usize;
+        let e = self.cross_offsets[lit as usize + 1] as usize;
+        &self.cross_targets[s..e]
     }
 
-    /// Number of directed edges (a relation and its contrapositive count two).
+    /// Returns `true` when no implication is stored.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty() && self.cross_targets.is_empty()
+    }
+
+    /// Number of directed same-frame edges (a relation and its contrapositive
+    /// count two).
     pub fn num_edges(&self) -> usize {
         self.targets.len()
+    }
+
+    /// Number of directed cross-frame edges (contrapositives included).
+    pub fn num_cross_edges(&self) -> usize {
+        self.cross_targets.len()
     }
 
     /// Nodes with at least one edge, ascending.
@@ -179,6 +292,8 @@ impl LiteralAdjacency {
     pub fn node_has_edges(&self, node: u32) -> bool {
         let lit0 = node as usize * 2;
         self.offsets[lit0 + 2] > self.offsets[lit0]
+            || (!self.cross_offsets.is_empty()
+                && self.cross_offsets[lit0 + 2] > self.cross_offsets[lit0])
     }
 }
 
@@ -224,7 +339,9 @@ pub struct ImplicationLayer {
 
 impl ImplicationLayer {
     /// Builds the layer for a whole iterative array from the good-machine
-    /// values, under the given learning mode.
+    /// values, under the given learning mode. Cross-frame edges of the
+    /// adjacency derive hints in the antecedent's frame plus the edge offset
+    /// (out-of-window frames are skipped).
     pub fn build(adj: &LiteralAdjacency, mode: LearningMode, good: &[Vec<Logic3>]) -> Self {
         let mut layer = ImplicationLayer::default();
         if !mode.uses_learning() || adj.is_empty() || good.is_empty() {
@@ -233,46 +350,29 @@ impl ImplicationLayer {
         let num_nodes = good[0].len();
         layer.num_nodes = num_nodes;
         layer.hints = vec![NO_HINT; num_nodes * good.len()];
-        let mut queue: Vec<u32> = Vec::new();
+        let chase = mode == LearningMode::KnownValue;
+        // Seed: every binary simulated value of every frame fires its
+        // implications (one global queue — cross-frame edges hop between
+        // frames, so a per-frame pass cannot contain the chase).
+        let mut queue: Vec<(u32, u32)> = Vec::new();
         for (frame, values) in good.iter().enumerate() {
-            let base = frame * num_nodes;
-            // Seed: every binary simulated value fires its implications.
-            queue.clear();
             for (idx, v) in values.iter().enumerate() {
                 if let Some(b) = v.to_bool() {
-                    queue.push(code(NodeId(idx as u32), b));
+                    queue.push((frame as u32, code(NodeId(idx as u32), b)));
                 }
             }
-            let mut head = 0;
-            while head < queue.len() {
-                let lit = queue[head];
-                head += 1;
-                for &c in adj.consequents(lit) {
-                    let c_node = (c >> 1) as usize;
-                    let c_value = c & 1 == 1;
-                    let sim_value = values[c_node];
-                    if let Some(b) = sim_value.to_bool() {
-                        if b != c_value {
-                            layer.conflict = true;
-                        }
-                        continue;
-                    }
-                    let slot = &mut layer.hints[base + c_node];
-                    match decode_hint(*slot) {
-                        Some(existing) if existing != c_value => {
-                            layer.conflict = true;
-                        }
-                        Some(_) => {}
-                        None => {
-                            *slot = encode_hint(c_value);
-                            layer.hint_count += 1;
-                            // Known-value mode chases implications transitively;
-                            // forbidden-value mode stops at direct consequents.
-                            if mode == LearningMode::KnownValue {
-                                queue.push(c);
-                            }
-                        }
-                    }
+        }
+        let mut head = 0;
+        while head < queue.len() {
+            let (frame, lit) = queue[head];
+            head += 1;
+            for &c in adj.consequents(lit) {
+                layer.derive(frame, c, good, chase, &mut queue);
+            }
+            for &(c, off) in adj.cross_consequents(lit) {
+                let tf = frame as i64 + off as i64;
+                if (0..good.len() as i64).contains(&tf) {
+                    layer.derive(tf as u32, c, good, chase, &mut queue);
                 }
             }
             if layer.conflict {
@@ -280,6 +380,41 @@ impl ImplicationLayer {
             }
         }
         layer
+    }
+
+    /// Derives one consequent literal `c` in `frame`: a contradicting binary
+    /// simulated value or contradicting existing hint raises the conflict
+    /// flag; a fresh hint is recorded (and queued in chase mode).
+    fn derive(
+        &mut self,
+        frame: u32,
+        c: u32,
+        good: &[Vec<Logic3>],
+        chase: bool,
+        queue: &mut Vec<(u32, u32)>,
+    ) {
+        let c_node = (c >> 1) as usize;
+        let c_value = c & 1 == 1;
+        if let Some(b) = good[frame as usize][c_node].to_bool() {
+            if b != c_value {
+                self.conflict = true;
+            }
+            return;
+        }
+        let slot = &mut self.hints[frame as usize * self.num_nodes + c_node];
+        match decode_hint(*slot) {
+            Some(existing) if existing != c_value => {
+                self.conflict = true;
+            }
+            Some(_) => {}
+            None => {
+                *slot = encode_hint(c_value);
+                self.hint_count += 1;
+                if chase {
+                    queue.push((frame, c));
+                }
+            }
+        }
     }
 
     /// The hinted value of `node` in `frame`, if any.
@@ -306,6 +441,35 @@ impl ImplicationLayer {
 struct LevelMark {
     hints: u32,
     seen: u32,
+}
+
+/// Read access to the good-machine window for the incremental layer's update
+/// paths: the event path holds the flat `(frame × node)` array, the scan path
+/// per-frame vectors. Static dispatch keeps the same-frame hot loop free of a
+/// per-read branch.
+trait GoodValues {
+    fn at(&self, frame: usize, node: usize) -> Logic3;
+}
+
+struct FlatValues<'v> {
+    values: &'v [Logic3],
+    num_nodes: usize,
+}
+
+impl GoodValues for FlatValues<'_> {
+    #[inline]
+    fn at(&self, frame: usize, node: usize) -> Logic3 {
+        self.values[frame * self.num_nodes + node]
+    }
+}
+
+struct FrameValues<'v>(&'v [Vec<Logic3>]);
+
+impl GoodValues for FrameValues<'_> {
+    #[inline]
+    fn at(&self, frame: usize, node: usize) -> Logic3 {
+        self.0[frame][node]
+    }
 }
 
 /// An [`ImplicationLayer`] maintained incrementally across the decide /
@@ -397,6 +561,7 @@ impl<'a> IncrementalLayer<'a> {
         let adj = self.adj;
         let chase = self.mode == LearningMode::KnownValue;
         self.queue.clear();
+        let view = FrameValues(good);
         for (frame, values) in good.iter().enumerate().take(self.frames).skip(from_frame) {
             let base = frame * self.num_nodes;
             if let Some(parent) = parent_good {
@@ -407,7 +572,7 @@ impl<'a> IncrementalLayer<'a> {
             // Only nodes with implication edges can fire events or carry
             // hints; the rest of the frame is irrelevant to the layer.
             for &nidx in adj.relevant_nodes() {
-                if self.process_literal(frame as u32, nidx, values, chase) {
+                if self.process_literal(frame as u32, nidx, &view, chase) {
                     conflict = true;
                 }
             }
@@ -416,7 +581,7 @@ impl<'a> IncrementalLayer<'a> {
         while head < self.queue.len() {
             let (frame, lit) = self.queue[head];
             head += 1;
-            if self.fire_consequents(frame, lit, &good[frame as usize], true) {
+            if self.fire_consequents(frame, lit, &view, true) {
                 conflict = true;
             }
         }
@@ -445,6 +610,10 @@ impl<'a> IncrementalLayer<'a> {
         let mut conflict = self.conflict_level.is_some();
         let chase = self.mode == LearningMode::KnownValue;
         self.queue.clear();
+        let view = FlatValues {
+            values,
+            num_nodes: self.num_nodes,
+        };
         for &slot in events {
             let slot = slot as usize;
             let node = (slot % self.num_nodes) as u32;
@@ -454,13 +623,7 @@ impl<'a> IncrementalLayer<'a> {
             if !self.adj.node_has_edges(node) {
                 continue;
             }
-            let base = frame * self.num_nodes;
-            if self.process_literal(
-                frame as u32,
-                node,
-                &values[base..base + self.num_nodes],
-                chase,
-            ) {
+            if self.process_literal(frame as u32, node, &view, chase) {
                 conflict = true;
             }
         }
@@ -468,8 +631,7 @@ impl<'a> IncrementalLayer<'a> {
         while head < self.queue.len() {
             let (frame, lit) = self.queue[head];
             head += 1;
-            let base = frame as usize * self.num_nodes;
-            if self.fire_consequents(frame, lit, &values[base..base + self.num_nodes], true) {
+            if self.fire_consequents(frame, lit, &view, true) {
                 conflict = true;
             }
         }
@@ -479,22 +641,22 @@ impl<'a> IncrementalLayer<'a> {
         conflict
     }
 
-    /// Processes one potentially newly binary value (`node` in `frame`, with
-    /// `frame_values` the node-indexed values of that frame): skips non-binary
-    /// or already-seen slots, marks the seen trail, reports a conflict if a
-    /// previously derived hint is contradicted, and fires the literal's
-    /// consequents (queued for transitive chasing in known-value mode, inline
-    /// otherwise). Shared by the scan path ([`IncrementalLayer::update`]) and
-    /// the event path ([`IncrementalLayer::update_events`]) so the two cannot
-    /// drift. Returns `true` when a contradiction was observed.
-    fn process_literal(
+    /// Processes one potentially newly binary value (`node` in `frame`):
+    /// skips non-binary or already-seen slots, marks the seen trail, reports
+    /// a conflict if a previously derived hint is contradicted, and fires the
+    /// literal's consequents (queued for transitive chasing in known-value
+    /// mode, inline otherwise). Shared by the scan path
+    /// ([`IncrementalLayer::update`]) and the event path
+    /// ([`IncrementalLayer::update_events`]) so the two cannot drift.
+    /// Returns `true` when a contradiction was observed.
+    fn process_literal<V: GoodValues>(
         &mut self,
         frame: u32,
         node: u32,
-        frame_values: &[Logic3],
+        values: &V,
         chase: bool,
     ) -> bool {
-        let Some(b) = frame_values[node as usize].to_bool() else {
+        let Some(b) = values.at(frame as usize, node as usize).to_bool() else {
             return false;
         };
         let slot = frame as usize * self.num_nodes + node as usize;
@@ -512,7 +674,7 @@ impl<'a> IncrementalLayer<'a> {
             // Known-value mode chases transitively: queue the event so
             // derived hints fire their own consequents.
             self.queue.push((frame, lit));
-        } else if self.fire_consequents(frame, lit, frame_values, false) {
+        } else if self.fire_consequents(frame, lit, values, false) {
             // Forbidden-value mode stops at direct consequents: fire inline,
             // no queue round-trip.
             conflict = true;
@@ -520,45 +682,57 @@ impl<'a> IncrementalLayer<'a> {
         conflict
     }
 
-    /// Fires the direct consequents of `lit` in `frame` over that frame's
-    /// good-machine values. Derived hints go on the trail; in chase mode a
-    /// fresh hint is queued so its own consequents fire too. Returns `true`
-    /// when a contradiction was observed.
-    fn fire_consequents(
+    /// Fires the direct consequents of `lit` in `frame` over the good-machine
+    /// values: the same-frame consequents, then the cross-frame consequents
+    /// in their offset frames (skipping frames outside the window). Derived
+    /// hints go on the trail; in chase mode a fresh hint is queued so its own
+    /// consequents fire too. Returns `true` when a contradiction was
+    /// observed.
+    fn fire_consequents<V: GoodValues>(
         &mut self,
         frame: u32,
         lit: u32,
-        frame_values: &[Logic3],
+        values: &V,
         chase: bool,
     ) -> bool {
         let adj = self.adj;
-        let base = frame as usize * self.num_nodes;
         let mut conflict = false;
         for &c in adj.consequents(lit) {
-            let c_node = (c >> 1) as usize;
-            let c_value = c & 1 == 1;
-            if let Some(b) = frame_values[c_node].to_bool() {
-                if b != c_value {
-                    conflict = true;
-                }
-                continue;
+            if self.derive(frame, c, values, chase) {
+                conflict = true;
             }
-            let slot = base + c_node;
-            match decode_hint(self.hints[slot]) {
-                Some(existing) if existing != c_value => {
-                    conflict = true;
-                }
-                Some(_) => {}
-                None => {
-                    self.hints[slot] = encode_hint(c_value);
-                    self.hint_trail.push(slot as u32);
-                    if chase {
-                        self.queue.push((frame, c));
-                    }
-                }
+        }
+        for &(c, off) in adj.cross_consequents(lit) {
+            let tf = frame as i64 + off as i64;
+            if (0..self.frames as i64).contains(&tf) && self.derive(tf as u32, c, values, chase) {
+                conflict = true;
             }
         }
         conflict
+    }
+
+    /// Derives one consequent literal `c` in `frame`. Returns `true` when a
+    /// contradiction (binary value or existing hint against `c`) was
+    /// observed.
+    fn derive<V: GoodValues>(&mut self, frame: u32, c: u32, values: &V, chase: bool) -> bool {
+        let c_node = (c >> 1) as usize;
+        let c_value = c & 1 == 1;
+        if let Some(b) = values.at(frame as usize, c_node).to_bool() {
+            return b != c_value;
+        }
+        let slot = frame as usize * self.num_nodes + c_node;
+        match decode_hint(self.hints[slot]) {
+            Some(existing) if existing != c_value => true,
+            Some(_) => false,
+            None => {
+                self.hints[slot] = encode_hint(c_value);
+                self.hint_trail.push(slot as u32);
+                if chase {
+                    self.queue.push((frame, c));
+                }
+                false
+            }
+        }
     }
 
     /// Unwinds to the first `keep` levels, retracting every hint and seen flag
@@ -844,6 +1018,139 @@ mod tests {
         let mut inc = IncrementalLayer::new(&adj, LearningMode::KnownValue, 1, n.num_nodes());
         assert!(!inc.update_events(0, &frame, &[a.0]));
         assert_eq!(inc.hint(0, c), Some(true), "chase reaches the chain end");
+    }
+
+    /// A three-FF shift register for the cross-frame tests; `a` at frame `T`
+    /// reaches `c` at frame `T+2`, which is what the handcrafted cross
+    /// relations below encode.
+    fn shift3() -> (Netlist, NodeId, NodeId) {
+        let mut b = NetlistBuilder::new("shift3");
+        b.input("i");
+        b.dff("a", "i").unwrap();
+        b.dff("bb", "a").unwrap();
+        b.dff("c", "bb").unwrap();
+        b.output("c").unwrap();
+        let n = b.build().unwrap();
+        let a = n.require("a").unwrap();
+        let c = n.require("c").unwrap();
+        (n, a, c)
+    }
+
+    fn cross_rel(a: NodeId, va: bool, c: NodeId, vc: bool, offset: i32) -> CrossImplication {
+        CrossImplication {
+            antecedent: Literal::new(a, va),
+            consequent: Literal::new(c, vc),
+            offset,
+        }
+    }
+
+    #[test]
+    fn cross_edges_hint_the_offset_frame() {
+        let (n, a, c) = shift3();
+        let cross = vec![cross_rel(a, true, c, true, 2)];
+        let adj = LiteralAdjacency::build_with_cross(&ImplicationDb::new(), &cross, n.num_nodes());
+        assert!(!adj.is_empty());
+        assert_eq!(adj.num_edges(), 0);
+        assert_eq!(adj.num_cross_edges(), 2, "relation plus contrapositive");
+
+        let mut good = vec![vec![Logic3::X; n.num_nodes()]; 4];
+        good[1][a.index()] = Logic3::One;
+        let layer = ImplicationLayer::build(&adj, LearningMode::ForbiddenValue, &good);
+        assert!(!layer.conflict);
+        assert_eq!(layer.hint(3, c), Some(true), "a=1@1 hints c=1@3");
+        assert_eq!(layer.hint(1, c), None);
+        // The contrapositive hints backwards: c=0 @ T forbids a=1 @ T-2.
+        let mut back = vec![vec![Logic3::X; n.num_nodes()]; 4];
+        back[3][c.index()] = Logic3::Zero;
+        let layer = ImplicationLayer::build(&adj, LearningMode::ForbiddenValue, &back);
+        assert!(!layer.conflict);
+        assert_eq!(layer.hint(1, a), Some(false));
+    }
+
+    #[test]
+    fn cross_edges_skip_out_of_window_frames() {
+        let (n, a, c) = shift3();
+        let cross = vec![cross_rel(a, true, c, true, 2)];
+        let adj = LiteralAdjacency::build_with_cross(&ImplicationDb::new(), &cross, n.num_nodes());
+        let mut good = vec![vec![Logic3::X; n.num_nodes()]; 2];
+        good[1][a.index()] = Logic3::One; // consequent frame 3 is out of window
+        let layer = ImplicationLayer::build(&adj, LearningMode::ForbiddenValue, &good);
+        assert!(!layer.conflict);
+        assert!(layer.is_empty());
+    }
+
+    #[test]
+    fn cross_conflict_on_contradicting_binary_value() {
+        let (n, a, c) = shift3();
+        let cross = vec![cross_rel(a, true, c, true, 2)];
+        let adj = LiteralAdjacency::build_with_cross(&ImplicationDb::new(), &cross, n.num_nodes());
+        let mut good = vec![vec![Logic3::X; n.num_nodes()]; 4];
+        good[1][a.index()] = Logic3::One;
+        good[3][c.index()] = Logic3::Zero;
+        let layer = ImplicationLayer::build(&adj, LearningMode::ForbiddenValue, &good);
+        assert!(layer.conflict, "a=1@1 with c=0@3 violates the relation");
+    }
+
+    #[test]
+    fn incremental_cross_hints_fire_and_pop() {
+        let (n, a, c) = shift3();
+        let nn = n.num_nodes();
+        let cross = vec![cross_rel(a, true, c, true, 2)];
+        let adj = LiteralAdjacency::build_with_cross(&ImplicationDb::new(), &cross, nn);
+        let mut inc = IncrementalLayer::new(&adj, LearningMode::ForbiddenValue, 4, nn);
+        let values = vec![Logic3::X; 4 * nn];
+        assert!(!inc.update_events(0, &values, &[]));
+        let mut values = values;
+        values[nn + a.index()] = Logic3::One;
+        let event = (nn + a.index()) as u32;
+        assert!(!inc.update_events(1, &values, &[event]));
+        assert_eq!(inc.hint(3, c), Some(true), "event at frame 1 hints frame 3");
+        inc.pop_to(1);
+        assert_eq!(inc.hint(3, c), None, "popping retracts the cross hint");
+        // A contradicting binary value at the offset frame is a conflict.
+        values[3 * nn + c.index()] = Logic3::Zero;
+        let conflict_event = (3 * nn + c.index()) as u32;
+        assert!(inc.update_events(1, &values, &[event, conflict_event]));
+        assert!(inc.conflict());
+    }
+
+    #[test]
+    fn known_value_mode_chases_through_cross_edges() {
+        let (n, a, c) = shift3();
+        let bb = n.require("bb").unwrap();
+        // a=1 @ T -> bb=1 @ T+1 (cross), bb=1 -> c=1 (same frame): the chase
+        // must hop the frame boundary and keep going.
+        let mut db = ImplicationDb::new();
+        db.add(
+            Implication::new(Literal::new(bb, true), Literal::new(c, true)),
+            true,
+        );
+        let cross = vec![cross_rel(a, true, bb, true, 1)];
+        let adj = LiteralAdjacency::build_with_cross(&db, &cross, n.num_nodes());
+        let mut good = vec![vec![Logic3::X; n.num_nodes()]; 3];
+        good[0][a.index()] = Logic3::One;
+        let forbidden = ImplicationLayer::build(&adj, LearningMode::ForbiddenValue, &good);
+        assert_eq!(forbidden.hint(1, bb), Some(true));
+        assert_eq!(forbidden.hint(1, c), None, "forbidden mode stays direct");
+        let known = ImplicationLayer::build(&adj, LearningMode::KnownValue, &good);
+        assert_eq!(known.hint(1, bb), Some(true));
+        assert_eq!(
+            known.hint(1, c),
+            Some(true),
+            "known mode chases the derived cross hint's same-frame edge"
+        );
+    }
+
+    #[test]
+    fn learned_data_sorts_and_dedups_cross_relations() {
+        let (n, a, c) = shift3();
+        let r1 = cross_rel(a, true, c, true, 2);
+        let r2 = cross_rel(c, false, a, false, -2);
+        let learned = LearnedData::from_parts(ImplicationDb::new(), Vec::new())
+            .with_cross_frame(vec![r1, r2, r1, r1]);
+        assert_eq!(learned.cross_frame(), &[r1, r2], "sorted, duplicates gone");
+        assert!(!learned.is_empty(), "cross relations alone count as data");
+        let _ = n;
     }
 
     #[test]

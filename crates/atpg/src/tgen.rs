@@ -80,7 +80,11 @@ impl<'a> TestGenerator<'a> {
     /// Returns an error when the combinational logic cannot be levelized.
     pub fn new(netlist: &'a Netlist, config: AtpgConfig, learned: &LearnedData) -> Result<Self> {
         let adjacency = if config.learning.uses_learning() {
-            LiteralAdjacency::build(learned.implications(), netlist.num_nodes())
+            LiteralAdjacency::build_with_cross(
+                learned.implications(),
+                learned.cross_frame(),
+                netlist.num_nodes(),
+            )
         } else {
             LiteralAdjacency::default()
         };

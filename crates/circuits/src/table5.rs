@@ -56,6 +56,17 @@ pub struct Table5Config {
     pub inputs: usize,
     /// Number of master shift-register bits feeding the state-driven selects.
     pub master_bits: usize,
+    /// Number of cross cells appended after the plain cells. A cross cell
+    /// carries an invariant that is *temporally asymmetric* in the search:
+    /// exciting its XOR probe gate pins the data stem one frame back, while
+    /// propagating the fault effect requires the opaque chain end
+    /// (`FF^d(stack(bb))`) to take the opposite value `d − 1` frames later —
+    /// impossible, but provable only by relating two *different* time
+    /// frames. Same-frame learning has no anchor for it (the XOR probe is
+    /// never binary in any single-stem polarity trace), so the select-tree
+    /// walk is cut by cross-frame forbidden-value pruning or not at all.
+    /// Zero (the default) keeps the classic workload unchanged.
+    pub cross_cells: usize,
 }
 
 impl Default for Table5Config {
@@ -67,6 +78,22 @@ impl Default for Table5Config {
             select_layers: 3,
             inputs: 4,
             master_bits: 3,
+            cross_cells: 0,
+        }
+    }
+}
+
+impl Table5Config {
+    /// The cross-frame flavour of the workload: the classic cells plus
+    /// `cross` double-stack cells. The added search waste is invisible to
+    /// window simulation *and* unprunable by same-frame learning — the
+    /// workload where cross-frame forbidden-value pruning is the only thing
+    /// that can cut the select-tree walks.
+    pub fn with_cross_cells(cross: usize) -> Self {
+        Table5Config {
+            name: "table5x".to_string(),
+            cross_cells: cross,
+            ..Table5Config::default()
         }
     }
 }
@@ -185,6 +212,86 @@ pub fn table5_circuit(config: &Table5Config) -> Netlist {
         )
         .unwrap();
         b.output(&o).unwrap();
+    }
+
+    // Cross cells (appended after the classic cells so their node order is
+    // untouched). Each cell carries one invariant that is *temporally
+    // asymmetric* in the search:
+    //
+    // ```text
+    // cd   = dedicated data input
+    // bb   = Buf(cd)                      // the stem the relations anchor to
+    // w    = XOR(bb, ce)                  // excitation probe (ce dedicated)
+    // wd   = FF^do(w)                     // carries w's fault effect forward
+    // fx   = FF^do(stack(bb))             // opaque: stack before the chain
+    // o    = OR(wd, fx, obs)              // observation
+    // ```
+    //
+    // Exciting a `w` fault at frame `u` decides the data input at `u`;
+    // propagating the effect through `o` at frame `v = u + do` requires
+    // `fx = 0 @ v` — with `bb=1@u` that is impossible (`fx@v ≡ bb@v−do`),
+    // but provable only by relating frame `u` to frame `v`. Window
+    // simulation never sees it (the stack keeps `fx` at `X` until every
+    // dedicated select is assigned), and same-frame learning has no anchor:
+    // `w` is an XOR, so it is binary in no single-stem polarity trace (no
+    // carrier relation is ever extracted), and the data input is dedicated,
+    // so no foreign transparent chain aligns with any depth of the `fx`
+    // chain. The one fact that kills the doomed `fx = 0` select-tree walk
+    // is the cross-frame relation `bb=1 @ T → fx=1 @ T+do` — forbidden-
+    // value pruning from cross-frame learning, or nothing.
+    if config.cross_cells > 0 {
+        let chain_do = depths.iter().copied().max().unwrap_or(1).max(1) + 1;
+        for j in 0..config.cross_cells {
+            let s = cells + j;
+            let cd = format!("cd{s}");
+            b.input(&cd);
+            let bb = format!("bb{s}");
+            b.gate(&bb, GateType::Buf, &[cd.as_str()]).unwrap();
+            let ce = format!("ce{s}");
+            b.input(&ce);
+            let w = format!("w{s}");
+            b.gate(&w, GateType::Xor, &[bb.as_str(), ce.as_str()])
+                .unwrap();
+            let mut wd_prev = w.clone();
+            for level in 0..chain_do {
+                let wd = format!("wd{s}_{level}");
+                b.dff(&wd, &wd_prev).unwrap();
+                wd_prev = wd;
+            }
+            // The opaque recomputation: select stack on dedicated inputs,
+            // then the delay chain — no transparent tap at any depth.
+            let mut g_prev = bb.clone();
+            for l in 0..layers {
+                let sel = format!("cs{s}_{l}");
+                b.input(&sel);
+                let nsel = format!("nsb{s}_{l}");
+                let hi = format!("hib{s}_{l}");
+                let lo = format!("lob{s}_{l}");
+                let g = format!("gb{s}_{l}");
+                b.gate(&nsel, GateType::Not, &[sel.as_str()]).unwrap();
+                b.gate(&hi, GateType::And, &[sel.as_str(), g_prev.as_str()])
+                    .unwrap();
+                b.gate(&lo, GateType::And, &[nsel.as_str(), g_prev.as_str()])
+                    .unwrap();
+                b.gate(&g, GateType::Or, &[hi.as_str(), lo.as_str()])
+                    .unwrap();
+                g_prev = g;
+            }
+            let mut fx_prev = g_prev;
+            for level in 0..chain_do {
+                let fx = format!("fx{s}_{level}");
+                b.dff(&fx, &fx_prev).unwrap();
+                fx_prev = fx;
+            }
+            let o = format!("o{s}");
+            b.gate(
+                &o,
+                GateType::Or,
+                &[wd_prev.as_str(), fx_prev.as_str(), "obs"],
+            )
+            .unwrap();
+            b.output(&o).unwrap();
+        }
     }
     b.build().expect("table5 generator produces valid circuits")
 }

@@ -65,6 +65,18 @@ impl LearnResult {
             .collect()
     }
 
+    /// The cross-frame relations in canonical export order: sorted and
+    /// deduplicated. The raw [`LearnResult::cross_frame`] list repeats a
+    /// relation once per deriving stem/frame pair; consumers that compile the
+    /// relations into an index (the ATPG implication adjacency) want each
+    /// logical fact once, in a deterministic order.
+    pub fn cross_frame_deduped(&self) -> Vec<CrossImplication> {
+        let mut out = self.cross_frame.clone();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
     /// Untestable stuck-at faults implied by the tied gates: a node tied to `v`
     /// makes its `stuck-at-v` fault undetectable.
     pub fn untestable_faults(&self) -> Vec<Fault> {

@@ -29,8 +29,6 @@ use crate::value::Logic3;
 use crate::Result;
 use sla_netlist::levelize::{levelize, Levelization};
 use sla_netlist::{Netlist, NodeId, NodeKind};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Event-driven, trail-undoable simulation of `window` time frames.
 #[derive(Debug, Clone)]
@@ -39,17 +37,29 @@ pub struct EventSim<'a> {
     window: usize,
     num_nodes: usize,
     fault: Option<Fault>,
-    /// Per-node processing priority within a frame: frame inputs (primary
-    /// inputs and sequential elements) are 0, gates follow the levelized
-    /// order. Events are drained in `(frame, priority)` order, so every node
-    /// is recomputed after all of its same-frame fanins.
-    priority: Vec<u32>,
+    /// Per-node logic level within a frame: frame inputs (primary inputs and
+    /// sequential elements) are 0, a gate is one above its deepest fanin.
+    /// Events are drained in `(frame, level)` order — same-level nodes are
+    /// independent, so every node is recomputed after all of its same-frame
+    /// fanins.
+    level: Vec<u32>,
+    /// Number of level buckets per frame (`max_level + 1`).
+    levels_per_frame: usize,
     /// Flat `(frame * num_nodes + node)` values.
     values: Vec<Logic3>,
     /// Deduplication flags for the event queue, per slot.
     queued: Vec<bool>,
-    /// Pending events: `(frame, priority, node)`, drained smallest-first.
-    heap: BinaryHeap<Reverse<(u32, u32, u32)>>,
+    /// Pending events, bucketed by `frame * levels_per_frame + level`. An
+    /// event only ever schedules strictly later buckets (same-frame fanouts
+    /// sit on higher levels, flip-flop crossings on the next frame's level
+    /// 0), so one forward sweep drains everything — O(1) per event where a
+    /// binary heap paid a logarithmic push/pop with branchy compares on this
+    /// innermost search-loop path.
+    buckets: Vec<Vec<u32>>,
+    /// Number of events currently queued across all buckets, so a drain
+    /// sweep stops as soon as the queue is empty instead of scanning the
+    /// remaining (frame × level) buckets.
+    pending: usize,
     /// Undo trail of `(slot, previous value)` pairs.
     trail: Vec<(u32, Logic3)>,
     /// Slots changed by the most recent [`EventSim::assign`] (after
@@ -82,19 +92,22 @@ impl<'a> EventSim<'a> {
         fault: Option<Fault>,
     ) -> Self {
         let num_nodes = netlist.num_nodes();
-        let mut priority = vec![0u32; num_nodes];
-        for (i, &id) in levels.order().iter().enumerate() {
-            priority[id.index()] = i as u32 + 1;
+        let mut level = vec![0u32; num_nodes];
+        for &id in levels.order() {
+            level[id.index()] = levels.level(id);
         }
+        let levels_per_frame = levels.max_level() as usize + 1;
         let mut sim = EventSim {
             netlist,
             window,
             num_nodes,
             fault,
-            priority,
+            level,
+            levels_per_frame,
             values: vec![Logic3::X; window * num_nodes],
             queued: vec![false; window * num_nodes],
-            heap: BinaryHeap::new(),
+            buckets: vec![Vec::new(); window * levels_per_frame],
+            pending: 0,
             trail: Vec::new(),
             changed: Vec::new(),
         };
@@ -162,6 +175,8 @@ impl<'a> EventSim<'a> {
         self.window = new_window;
         self.values.resize(new_window * self.num_nodes, Logic3::X);
         self.queued.resize(new_window * self.num_nodes, false);
+        self.buckets
+            .resize(new_window * self.levels_per_frame, Vec::new());
         self.eval_frames(levels, old_window);
         self.reset_changed_to_binary();
     }
@@ -242,15 +257,15 @@ impl<'a> EventSim<'a> {
         self.values[slot] = effective;
         self.changed.push(slot as u32);
         self.schedule_fanouts(frame, pi);
-        self.drain();
+        self.drain(frame * self.levels_per_frame);
     }
 
     fn schedule_fanouts(&mut self, frame: usize, id: NodeId) {
-        for i in 0..self.netlist.fanouts(id).len() {
-            let fo = self.netlist.fanouts(id)[i];
+        let netlist = self.netlist;
+        for &fo in netlist.fanouts(id) {
             // A sequential fanout samples this value as its next state: the
             // event crosses the flip-flop boundary into the next frame.
-            let target_frame = if self.netlist.node(fo).is_sequential() {
+            let target_frame = if netlist.node(fo).is_sequential() {
                 frame + 1
             } else {
                 frame
@@ -259,33 +274,50 @@ impl<'a> EventSim<'a> {
                 let slot = target_frame * self.num_nodes + fo.index();
                 if !self.queued[slot] {
                     self.queued[slot] = true;
-                    self.heap.push(Reverse((
-                        target_frame as u32,
-                        self.priority[fo.index()],
-                        fo.0,
-                    )));
+                    let bucket =
+                        target_frame * self.levels_per_frame + self.level[fo.index()] as usize;
+                    self.buckets[bucket].push(fo.0);
+                    self.pending += 1;
                 }
             }
         }
     }
 
-    /// Drains the event queue in `(frame, level)` order. Each slot is
-    /// recomputed at most once: events only ever flow to strictly larger
-    /// `(frame, priority)` keys.
-    fn drain(&mut self) {
-        while let Some(Reverse((frame, _, nidx))) = self.heap.pop() {
-            let frame = frame as usize;
-            let id = NodeId(nidx);
-            let slot = frame * self.num_nodes + id.index();
-            self.queued[slot] = false;
-            let new = self.compute(frame, id);
-            if new == self.values[slot] {
+    /// Drains the event buckets in `(frame, level)` order, starting at
+    /// `from_bucket` (no event can sit below the triggering assignment's
+    /// frame). Each slot is recomputed at most once: a recompute at bucket
+    /// `b` only ever schedules buckets strictly greater than `b`, so one
+    /// forward sweep is complete.
+    fn drain(&mut self, from_bucket: usize) {
+        for bucket in from_bucket..self.buckets.len() {
+            if self.pending == 0 {
+                break;
+            }
+            if self.buckets[bucket].is_empty() {
                 continue;
             }
-            self.trail.push((slot as u32, self.values[slot]));
-            self.values[slot] = new;
-            self.changed.push(slot as u32);
-            self.schedule_fanouts(frame, id);
+            let frame = bucket / self.levels_per_frame;
+            let base = frame * self.num_nodes;
+            // A bucket never grows while it drains (all scheduled buckets
+            // are strictly later), so the swap-out is safe and keeps the
+            // allocation for reuse.
+            let mut nodes = std::mem::take(&mut self.buckets[bucket]);
+            self.pending -= nodes.len();
+            for &nidx in &nodes {
+                let id = NodeId(nidx);
+                let slot = base + id.index();
+                self.queued[slot] = false;
+                let new = self.compute(frame, id);
+                if new == self.values[slot] {
+                    continue;
+                }
+                self.trail.push((slot as u32, self.values[slot]));
+                self.values[slot] = new;
+                self.changed.push(slot as u32);
+                self.schedule_fanouts(frame, id);
+            }
+            nodes.clear();
+            self.buckets[bucket] = nodes;
         }
     }
 

@@ -11,7 +11,7 @@ use seqlearn::atpg::{
     MachineMark, SearchMachines, TestGenerator,
 };
 use seqlearn::circuits::{synthesize, SynthConfig};
-use seqlearn::learn::{Implication, ImplicationDb, Literal};
+use seqlearn::learn::{CrossImplication, Implication, ImplicationDb, Literal};
 use seqlearn::netlist::levelize::levelize;
 use seqlearn::netlist::{Netlist, NodeId, NodeKind};
 use seqlearn::sim::{full_fault_list, Fault, FaultSite, Logic3};
@@ -59,6 +59,28 @@ fn random_db(netlist: &Netlist, bits: &mut Bits, relations: usize) -> Implicatio
         );
     }
     db
+}
+
+/// Random cross-frame relations (soundness is irrelevant here — the layer
+/// machinery must track any database, and unsound relations conflict often,
+/// which is what the equivalence property wants to exercise). Offsets cover
+/// negative, in-window and out-of-window distances.
+fn random_cross(netlist: &Netlist, bits: &mut Bits, relations: usize) -> Vec<CrossImplication> {
+    let n = netlist.num_nodes() as u64;
+    let mut out = Vec::new();
+    for _ in 0..relations {
+        let a = NodeId((bits.next() % n) as u32);
+        let b = NodeId((bits.next() % n) as u32);
+        if a == b {
+            continue;
+        }
+        out.push(CrossImplication {
+            antecedent: Literal::new(a, bits.next().is_multiple_of(2)),
+            consequent: Literal::new(b, bits.next().is_multiple_of(2)),
+            offset: (bits.next() % 13) as i32 - 6,
+        });
+    }
+    out
 }
 
 /// `true` when the two values carry a fault effect (binary and opposite).
@@ -148,7 +170,15 @@ proptest! {
             TestGenerator::new(&netlist, AtpgConfig::default(), &LearnedData::new()).unwrap();
 
         let db = random_db(&netlist, &mut bits, relations);
-        let adj = LiteralAdjacency::build(&db, netlist.num_nodes());
+        // Two thirds of the cases also carry random cross-frame relations,
+        // so the event-fed layer is exercised with hints and conflicts
+        // landing in frames other than the event's own.
+        let cross = if seed % 3 == 0 {
+            Vec::new()
+        } else {
+            random_cross(&netlist, &mut bits, relations)
+        };
+        let adj = LiteralAdjacency::build_with_cross(&db, &cross, netlist.num_nodes());
         let mode = if seed % 2 == 0 {
             LearningMode::KnownValue
         } else {
@@ -193,6 +223,15 @@ proptest! {
                 reference_detected(&netlist, &good, &faulty),
                 "detected flag diverged (seed {})", seed
             );
+            // The persistent frontier set must equal the retained cone scan
+            // *including iteration order* (frames ascending, levelized order
+            // within a frame — what the objective loop depends on) …
+            prop_assert_eq!(
+                machines.d_frontier(),
+                machines.d_frontier_scan(),
+                "frontier set diverged from the reference scan (seed {})", seed
+            );
+            // … and both must match the from-scratch whole-netlist reference.
             let mut incremental_frontier = machines.d_frontier();
             incremental_frontier.sort_unstable();
             prop_assert_eq!(
@@ -317,6 +356,8 @@ proptest! {
             prop_assert_eq!(machines.faulty().changed(), fresh.faulty().changed());
             prop_assert_eq!(machines.d_frontier(), fresh.d_frontier());
             prop_assert_eq!(machines.detected(), fresh.detected());
+            // The rebuilt-after-grow frontier set equals the reference scan.
+            prop_assert_eq!(machines.d_frontier(), machines.d_frontier_scan());
 
             // Decisions after the growth still track the from-scratch
             // reference in every frame, old and appended alike.
@@ -335,6 +376,9 @@ proptest! {
                 prop_assert_eq!(machines.good().frame(t), good[t].as_slice(), "frame {}", t);
                 prop_assert_eq!(machines.faulty().frame(t), faulty[t].as_slice(), "frame {}", t);
             }
+            // Decisions made after the growth keep the persistent set in
+            // lock-step with the reference scan.
+            prop_assert_eq!(machines.d_frontier(), machines.d_frontier_scan());
         }
     }
 }

@@ -89,10 +89,20 @@ proptest! {
         drop_pick in 0usize..2,
     ) {
         let netlist = small_synth(seed, flip_flops, gates);
+        // Cross-frame learning on: the sharded searches must stay
+        // bit-identical with cross-frame forbidden-value pruning active in
+        // every worker (the hints depend only on the learned data and the
+        // per-fault search state, never on the wave partition).
         let learned = LearnedData::from(
-            &SequentialLearner::new(&netlist, LearnConfig::default())
-                .learn_with_threads(1)
-                .unwrap(),
+            &SequentialLearner::new(
+                &netlist,
+                LearnConfig {
+                    learn_cross_frame: true,
+                    ..LearnConfig::default()
+                },
+            )
+            .learn_with_threads(1)
+            .unwrap(),
         );
         let mode = [LearningMode::None, LearningMode::ForbiddenValue, LearningMode::KnownValue]
             [mode_pick];
@@ -127,7 +137,9 @@ proptest! {
 
 /// The full-pipeline smoke: learning feeds ATPG, both sharded, against both
 /// serial — on the structured generators the benchmarks use (not just the
-/// random synthesizer).
+/// random synthesizer). The third workload is the cross-frame flavour of the
+/// Table-5 circuit with cross-frame learning enabled, so the pipeline is
+/// checked end to end exactly where cross-frame pruning fires.
 #[test]
 fn sharded_pipeline_matches_serial_on_structured_workloads() {
     use seqlearn::circuits::{retimed_circuit, table5_circuit, RetimedConfig, Table5Config};
@@ -139,8 +151,15 @@ fn sharded_pipeline_matches_serial_on_structured_workloads() {
         ..RetimedConfig::default()
     });
     let table5 = table5_circuit(&Table5Config::default());
-    for netlist in [&retimed, &table5] {
-        let learner = SequentialLearner::new(netlist, LearnConfig::default());
+    let table5x = table5_circuit(&Table5Config::with_cross_cells(2));
+    for (netlist, cross) in [(&retimed, false), (&table5, false), (&table5x, true)] {
+        let learner = SequentialLearner::new(
+            netlist,
+            LearnConfig {
+                learn_cross_frame: cross,
+                ..LearnConfig::default()
+            },
+        );
         let learn_ref = learner.learn_with_threads(1).unwrap();
         let learn_par = learner.learn_with_threads(4).unwrap();
         assert_eq!(
@@ -148,6 +167,7 @@ fn sharded_pipeline_matches_serial_on_structured_workloads() {
             learn_par.implications.iter().collect::<Vec<_>>()
         );
         assert_eq!(learn_ref.tied, learn_par.tied);
+        assert_eq!(learn_ref.cross_frame, learn_par.cross_frame);
 
         let engine = AtpgEngine::new(
             netlist,

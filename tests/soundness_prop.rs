@@ -5,10 +5,12 @@
 use proptest::prelude::*;
 use seqlearn::circuits::{retimed_circuit, synthesize, RetimedConfig, SynthConfig};
 use seqlearn::learn::{LearnConfig, SequentialLearner};
+use seqlearn::netlist::levelize::levelize;
 use seqlearn::netlist::parser::parse_bench;
 use seqlearn::netlist::writer::write_bench;
+use seqlearn::netlist::NodeKind;
 use seqlearn::sim::collapsed_fault_list;
-use seqlearn::sim::{FaultSimulator, Logic3, StateOracle, TestSequence};
+use seqlearn::sim::{eval_gate3, FaultSimulator, Logic3, StateOracle, TestSequence};
 
 /// Small synthetic circuits the oracle can enumerate exhaustively.
 fn small_synth(seed: u64, flip_flops: usize, gates: usize) -> seqlearn::netlist::Netlist {
@@ -89,6 +91,86 @@ proptest! {
                 imp.consequent.node,
                 imp.consequent.value
             ), "unsound {} (seed {seed})", imp.describe(&netlist));
+        }
+    }
+
+    /// Learned cross-frame relations hold on binary runs of the circuit *in
+    /// operation*: a relation `a=va @ T → b=vb @ T+offset` is claimed for
+    /// the states the machine can actually be in once its transients have
+    /// settled — the same §4 semantics the same-frame invariants (and the
+    /// steady-state oracle that validates them) already use. The reference
+    /// here is an independent binary evaluator: a random power-up state and
+    /// random inputs per frame, with a warm-up prefix long enough for every
+    /// learnable invariant to manifest (learning derives facts by forward
+    /// propagation, so an invariant proven at trace frame `t` is established
+    /// within `t` steps of any history); frame pairs inside the warm-up are
+    /// exactly the power-up transients the claims exclude.
+    #[test]
+    fn learned_cross_frame_relations_hold_on_settled_binary_runs(
+        seed in 0u64..150,
+        flip_flops in 2usize..7,
+        gates in 10usize..40,
+    ) {
+        let netlist = small_synth(seed, flip_flops, gates);
+        let result = SequentialLearner::new(
+            &netlist,
+            LearnConfig { learn_cross_frame: true, ..LearnConfig::default() },
+        )
+        .learn()
+        .unwrap();
+        // An empty harvest is a vacuous (but possible) sample.
+        let cross = result.cross_frame_deduped();
+        let levels = levelize(&netlist).unwrap();
+        let n = netlist.num_nodes();
+        let warm = 10usize;
+        let frames = warm + 8;
+        let mut rng_bit = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(7);
+        let mut next_bit = || {
+            rng_bit = rng_bit.wrapping_mul(6364136223846793005).wrapping_add(1);
+            rng_bit >> 33 & 1 == 1
+        };
+        for _run in 0..12 {
+            // One fully binary run of the iterative array.
+            let mut values: Vec<Vec<Logic3>> = Vec::with_capacity(frames);
+            for t in 0..frames {
+                let mut v = vec![Logic3::X; n];
+                for &pi in netlist.inputs() {
+                    v[pi.index()] = Logic3::from_bool(next_bit());
+                }
+                for s in netlist.sequential_elements() {
+                    v[s.index()] = if t == 0 {
+                        Logic3::from_bool(next_bit()) // arbitrary power-up
+                    } else {
+                        values[t - 1][netlist.fanins(s)[0].index()]
+                    };
+                }
+                for &id in levels.order() {
+                    let node = netlist.node(id);
+                    let NodeKind::Gate(gate) = node.kind else { continue };
+                    v[id.index()] =
+                        eval_gate3(gate, node.fanins.iter().map(|f| v[f.index()]));
+                }
+                values.push(v);
+            }
+            for c in &cross {
+                for t in warm..frames {
+                    let tf = t as i64 + i64::from(c.offset);
+                    if !(warm as i64..frames as i64).contains(&tf) {
+                        continue;
+                    }
+                    if values[t][c.antecedent.node.index()]
+                        == Logic3::from_bool(c.antecedent.value)
+                    {
+                        prop_assert_eq!(
+                            values[tf as usize][c.consequent.node.index()],
+                            Logic3::from_bool(c.consequent.value),
+                            "unsound cross relation {} (seed {})",
+                            c,
+                            seed
+                        );
+                    }
+                }
+            }
         }
     }
 

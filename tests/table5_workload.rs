@@ -75,6 +75,72 @@ fn learning_strictly_reduces_backtracks_on_the_table5_workload() {
     }
 }
 
+/// Cross-frame forbidden-value pruning on the cross-cell flavour of the
+/// workload: attaching the learner's cross-frame relations must *strictly*
+/// reduce backtracks below what the same-frame database alone achieves (the
+/// full capability of PR 4, which compiled no cross-frame relations), must
+/// convert additional aborted faults into proven-untestable ones, and must
+/// never lose a detection. The cross cells are built so that the doomed
+/// select-tree walk has no same-frame anchor at any depth (see
+/// `table5_circuit`): if this assertion holds, the cross-frame hints are
+/// demonstrably firing in the backtrace, not just compiling into the
+/// adjacency.
+#[test]
+fn cross_frame_relations_strictly_reduce_backtracks() {
+    let netlist = table5_circuit(&Table5Config::with_cross_cells(4));
+    let learn = SequentialLearner::new(
+        &netlist,
+        LearnConfig {
+            learn_cross_frame: true,
+            ..LearnConfig::default()
+        },
+    )
+    .learn()
+    .unwrap();
+    assert!(
+        !learn.cross_frame.is_empty(),
+        "the workload must produce cross-frame relations"
+    );
+    // Same-frame-only learned data is exactly what PR 4 handed the engine.
+    let same_frame_only =
+        LearnedData::from_parts(learn.implications.clone(), learn.tied_constants());
+    let with_cross = LearnedData::from(&learn);
+    assert!(
+        !with_cross.cross_frame().is_empty(),
+        "from_learn_result must carry the cross-frame relations"
+    );
+
+    for mode in [LearningMode::ForbiddenValue, LearningMode::KnownValue] {
+        let before = run_mode(&netlist, &same_frame_only, mode);
+        let after = run_mode(&netlist, &with_cross, mode);
+        assert!(
+            after.stats.backtracks < before.stats.backtracks,
+            "{mode:?}: cross-frame pruning must strictly reduce backtracks \
+             ({} with vs {} without)",
+            after.stats.backtracks,
+            before.stats.backtracks
+        );
+        assert!(
+            after.stats.detected >= before.stats.detected,
+            "{mode:?} must not lose detections ({} vs {})",
+            after.stats.detected,
+            before.stats.detected
+        );
+        assert!(
+            after.stats.untestable > before.stats.untestable,
+            "{mode:?} must prove extra aborted faults untestable ({} vs {})",
+            after.stats.untestable,
+            before.stats.untestable
+        );
+        assert!(
+            after.stats.aborted < before.stats.aborted,
+            "{mode:?} must abort on fewer faults ({} vs {})",
+            after.stats.aborted,
+            before.stats.aborted
+        );
+    }
+}
+
 /// The relations that drive the pruning really are the equivalence-derived
 /// chain-end pairs: both polarities of the `fb → fg` link must be in the
 /// database (their contrapositives power the forbidden-value hints).
