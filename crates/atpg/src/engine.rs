@@ -5,10 +5,9 @@ use crate::config::AtpgConfig;
 use crate::learned::LearnedData;
 use crate::tgen::{GenOutcome, GenResult, TestGenerator};
 use crate::Result;
-use sla_netlist::Netlist;
+use sla_netlist::{FastHashMap, Netlist};
 use sla_sim::{Fault, FaultSimulator, FaultSite, TestSequence};
-use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Final classification of a fault after the ATPG run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -54,22 +53,26 @@ pub struct AtpgStats {
 }
 
 impl AtpgStats {
-    /// Fault coverage: detected / total.
-    pub fn fault_coverage(&self) -> f64 {
+    /// Fault coverage in basis points (1/100 of a percent): detected / total.
+    ///
+    /// Integer on purpose: coverage is pipeline output, and the determinism
+    /// contract keeps float arithmetic out of the pipeline crates entirely
+    /// (`sla-lint` rule `float-arith`). 10000 = 100% coverage.
+    pub fn fault_coverage_bp(&self) -> u32 {
         if self.total_faults == 0 {
-            return 0.0;
+            return 0;
         }
-        self.detected as f64 / self.total_faults as f64
+        (self.detected as u64 * 10_000 / self.total_faults as u64) as u32
     }
 
-    /// Test coverage: detected / (total - untestable), the paper's "fault
-    /// coverage excluding untestable faults".
-    pub fn test_coverage(&self) -> f64 {
+    /// Test coverage in basis points: detected / (total - untestable), the
+    /// paper's "fault coverage excluding untestable faults". 10000 = 100%.
+    pub fn test_coverage_bp(&self) -> u32 {
         let testable = self.total_faults.saturating_sub(self.untestable);
         if testable == 0 {
-            return 1.0;
+            return 10_000;
         }
-        self.detected as f64 / testable as f64
+        (self.detected as u64 * 10_000 / testable as u64) as u32
     }
 }
 
@@ -151,7 +154,7 @@ impl<'a> AtpgEngine<'a> {
     /// searched. The wave depth adapts to the observed drop density so
     /// drop-heavy fault lists do not drown in wasted speculation.
     pub fn run_with_threads(&self, faults: &[Fault], threads: usize) -> AtpgRun {
-        let start = Instant::now();
+        let start = sla_netlist::wallclock::now();
         let mut status: Vec<Option<FaultStatus>> = vec![None; faults.len()];
         let mut stats = AtpgStats {
             total_faults: faults.len(),
@@ -224,7 +227,7 @@ impl<'a> AtpgEngine<'a> {
                     // deterministic too.
                     let mut wave_cap = threads;
                     let mut next = 0usize;
-                    let mut results: HashMap<usize, GenResult> = HashMap::new();
+                    let mut results: FastHashMap<usize, GenResult> = FastHashMap::default();
                     let mut union = cones.empty_mask();
                     let mut last_wave = 0usize;
                     let mut wasted_before = 0usize;
@@ -417,7 +420,7 @@ struct FaultCones {
 impl FaultCones {
     fn build(netlist: &Netlist, faults: &[Fault]) -> FaultCones {
         let words = netlist.num_nodes().div_ceil(64);
-        let mut by_node: HashMap<u32, usize> = HashMap::new();
+        let mut by_node: FastHashMap<u32, usize> = FastHashMap::default();
         let mut masks: Vec<ConeMask> = Vec::new();
         let index = faults
             .iter()
@@ -496,8 +499,8 @@ mod tests {
         for seq in &run.sequences {
             assert!(faults.iter().any(|f| sim.detects(f, seq)));
         }
-        assert!(run.stats.fault_coverage() > 0.0);
-        assert!(run.stats.test_coverage() >= run.stats.fault_coverage());
+        assert!(run.stats.fault_coverage_bp() > 0);
+        assert!(run.stats.test_coverage_bp() >= run.stats.fault_coverage_bp());
     }
 
     #[test]

@@ -17,9 +17,8 @@ use crate::learned::{IncrementalLayer, LearnedData, LiteralAdjacency};
 use crate::machines::{MachineMark, SearchMachines};
 use crate::Result;
 use sla_netlist::levelize::{levelize, Levelization};
-use sla_netlist::{GateType, Netlist, NodeId, NodeKind};
+use sla_netlist::{FastHashMap, GateType, Netlist, NodeId, NodeKind};
 use sla_sim::{eval_gate3, EventSim, Fault, FaultSite, Logic3, TestSequence};
-use std::collections::HashMap;
 
 /// Outcome of test generation for one fault.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -268,7 +267,7 @@ impl<'a> TestGenerator<'a> {
         &self,
         fault: &Fault,
         window: usize,
-        assigned: &HashMap<(usize, u32), bool>,
+        assigned: &FastHashMap<(usize, u32), bool>,
     ) -> (Vec<Vec<Logic3>>, Vec<Vec<Logic3>>) {
         let n = self.netlist.num_nodes();
         let mut good = Vec::with_capacity(window);

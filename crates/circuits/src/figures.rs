@@ -140,7 +140,7 @@ mod tests {
     fn figure1_invalid_states_exist() {
         let n = paper_style_figure1();
         let oracle = sla_sim::StateOracle::build(&n, 24).unwrap();
-        assert!(oracle.density_of_encoding() < 1.0);
+        assert!(oracle.density_of_encoding_bp() < 10_000);
         let f1 = n.require("F1").unwrap();
         let f2 = n.require("F2").unwrap();
         assert!(oracle.implication_holds(f1, true, f2, false));

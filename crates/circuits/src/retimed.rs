@@ -169,9 +169,9 @@ mod tests {
         assert!(n.validate().is_ok());
         let oracle = StateOracle::build(&n, 24).unwrap();
         assert!(
-            oracle.density_of_encoding() < 0.25,
-            "expected a low density of encoding, got {}",
-            oracle.density_of_encoding()
+            oracle.density_of_encoding_bp() < 2_500,
+            "expected a low density of encoding, got {} bp",
+            oracle.density_of_encoding_bp()
         );
     }
 

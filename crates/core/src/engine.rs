@@ -11,8 +11,8 @@ use crate::{multi_node, single_node, Result};
 use sla_netlist::stems::fanout_stems;
 use sla_netlist::{Netlist, NodeId};
 use sla_sim::{find_equivalences, EquivClasses, Fault, InjectionSim, SimOptions};
-use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::collections::BTreeMap;
+use std::time::Duration;
 
 /// Summary statistics of one learning run (the quantities reported by Table 3
 /// of the paper, plus engine-internal counters).
@@ -144,7 +144,7 @@ impl<'a> SequentialLearner<'a> {
     /// Returns an error when the combinational logic cannot be levelized (the
     /// netlist contains a combinational cycle).
     pub fn learn_with_threads(&self, threads: usize) -> Result<LearnResult> {
-        let start = Instant::now();
+        let start = sla_netlist::wallclock::now();
         let netlist = self.netlist;
         let stems = fanout_stems(netlist);
 
@@ -179,7 +179,7 @@ impl<'a> SequentialLearner<'a> {
 
         let mut db = ImplicationDb::new();
         let mut cross_frame = Vec::new();
-        let mut tied: HashMap<NodeId, TiedGate> = HashMap::new();
+        let mut tied: BTreeMap<NodeId, TiedGate> = BTreeMap::new();
         let mut multi_targets = 0usize;
 
         for class in &classes {
@@ -287,7 +287,7 @@ impl<'a> SequentialLearner<'a> {
 
 /// Deduplicates ties, preferring the combinational proof when a node is found
 /// tied by both criteria.
-fn record_tie(tied: &mut HashMap<NodeId, TiedGate>, tie: TiedGate) {
+fn record_tie(tied: &mut BTreeMap<NodeId, TiedGate>, tie: TiedGate) {
     match tied.get_mut(&tie.node) {
         Some(existing) => {
             if existing.value == tie.value && tie.kind == TieKind::Combinational {

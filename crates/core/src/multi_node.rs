@@ -12,9 +12,8 @@
 use crate::relation::{CrossImplication, Implication, Literal};
 use crate::single_node::{keep_relation, SupportMap};
 use crate::tie::{TieKind, TiedGate};
-use sla_netlist::{Netlist, NodeId};
+use sla_netlist::{FastHashMap, Netlist, NodeId};
 use sla_sim::{Injection, InjectionSim, SimOptions, TraceRead};
-use std::collections::HashMap;
 
 /// Everything learned by a multiple-node pass.
 #[derive(Debug, Default)]
@@ -52,7 +51,7 @@ struct Target {
 /// `stem = !w @ horizon - t`.
 fn prepare_target(node: NodeId, produced: bool, entries: &[(NodeId, bool, usize)]) -> Target {
     let horizon = entries.iter().map(|&(_, _, t)| t).max().unwrap_or(0);
-    let mut by_slot: HashMap<(NodeId, usize), bool> = HashMap::new();
+    let mut by_slot: FastHashMap<(NodeId, usize), bool> = FastHashMap::default();
     let mut contradictory = false;
     for &(stem, w, t) in entries {
         let frame = horizon - t;

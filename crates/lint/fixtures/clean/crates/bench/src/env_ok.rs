@@ -1,0 +1,10 @@
+//! Clean fixture: the bench crate is allow-listed for harness env knobs,
+//! and std::env::args is explicit CLI input everywhere.
+
+pub fn bench_json_path() -> Option<String> {
+    std::env::var("SLA_BENCH_JSON").ok()
+}
+
+pub fn first_arg() -> Option<String> {
+    std::env::args().nth(1)
+}

@@ -1,0 +1,23 @@
+//! Clean fixture: the sanctioned forms of everything the rules police.
+
+use std::collections::BTreeMap;
+
+pub type FastHashMap<K, V> = BTreeMap<K, V>; // stand-in for sla_netlist::FastHashMap
+
+/// Integer basis points instead of float ratios.
+pub fn coverage_bp(detected: usize, total: usize) -> u32 {
+    if total == 0 {
+        return 0;
+    }
+    (detected as u64 * 10_000 / total as u64) as u32
+}
+
+pub fn group(keys: &[u32]) -> BTreeMap<u32, usize> {
+    keys.iter().enumerate().map(|(i, &k)| (k, i)).collect()
+}
+
+/// Comment markers and rule trigger words inside literals are not code:
+/// "HashMap", "Instant::now", 'x', and // inside this string stay inert.
+pub fn inert() -> (&'static str, char) {
+    ("HashMap Instant::now std::env::var // 1.5", '/')
+}

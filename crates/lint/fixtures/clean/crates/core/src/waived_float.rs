@@ -1,0 +1,7 @@
+//! Clean fixture: a properly waived finding (rule id + non-empty reason).
+
+pub fn display_ratio(a: usize, b: usize) -> String {
+    // sla-lint: allow(float-arith): display-only ratio for a log line, never compared or stored
+    let r = a as f64 / b as f64;
+    format!("{r:.2}")
+}

@@ -1,0 +1,7 @@
+//! Clean fixture: `unsafe` audited with a SAFETY comment.
+
+pub fn first(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    // SAFETY: the assert above guarantees index 0 is in bounds.
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,11 @@
+//! Clean fixture: integration tests are not library code, so the
+//! default-hasher rule does not apply to them.
+
+use std::collections::HashMap;
+
+#[test]
+fn scratch_map() {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 2);
+    assert_eq!(m.get(&1), Some(&2));
+}

@@ -1,0 +1,8 @@
+//! Seeded violation: ambient environment reads outside sla-par/sla-bench.
+
+pub fn budget() -> usize {
+    std::env::var("SLA_BACKTRACK_LIMIT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100)
+}

@@ -1,0 +1,14 @@
+//! Seeded violation: default-hasher maps in library code.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn group(keys: &[u32]) -> HashMap<u32, usize> {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut out = HashMap::new();
+    for (i, &k) in keys.iter().enumerate() {
+        if seen.insert(k) {
+            out.insert(k, i);
+        }
+    }
+    out
+}

@@ -1,0 +1,13 @@
+//! Seeded violation: float arithmetic in a pipeline crate.
+
+pub fn coverage(detected: usize, total: usize) -> f64 {
+    detected as f64 / total as f64
+}
+
+pub fn near(x: f64) -> bool {
+    (x - 1.0).abs() < 1e-9
+}
+
+pub fn scaled(x: f32) -> f32 {
+    x * 2.5f32
+}

@@ -1,0 +1,6 @@
+//! Seeded violation: a waiver without a reason suppresses nothing.
+
+// sla-lint: allow(float-arith)
+pub fn ratio(a: usize, b: usize) -> f64 {
+    a as f64 / b as f64
+}

@@ -1,0 +1,4 @@
+//! Seeded violation: a waiver naming an unknown rule is itself a finding.
+
+// sla-lint: allow(made-up-rule): this rule does not exist
+pub fn nothing() {}

@@ -1,0 +1,5 @@
+//! Seeded violation: `unsafe` without a SAFETY comment.
+
+pub fn first(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

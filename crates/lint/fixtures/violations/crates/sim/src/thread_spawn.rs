@@ -1,0 +1,15 @@
+//! Seeded violation: ad-hoc threading and synchronization outside crates/par.
+
+use std::sync::Mutex;
+use std::thread;
+
+pub fn racy_sum(items: &[u64]) -> u64 {
+    let total = Mutex::new(0u64);
+    thread::scope(|s| {
+        for &x in items {
+            s.spawn(|| *total.lock().unwrap() += x);
+        }
+    });
+    let out = *total.lock().unwrap();
+    out
+}

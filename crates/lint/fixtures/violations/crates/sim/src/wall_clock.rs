@@ -1,0 +1,17 @@
+//! Seeded violation: ad-hoc wall-clock reads.
+
+use std::time::Instant;
+
+pub fn timed<T>(f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    let _ = start.elapsed();
+    out
+}
+
+pub fn epoch() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

@@ -1,0 +1,493 @@
+//! A comment/string/char-literal-aware tokenizer for Rust source.
+//!
+//! The rules in [`crate::rules`] match *code* tokens (identifiers, literals,
+//! punctuation) and read *comment* tokens for waivers and `SAFETY:` notes, so
+//! the one job of this lexer is to never confuse the two: `"// not a
+//! comment"` must stay a string, `/* outer /* nested */ */` must close at the
+//! right depth, `'a'` must not start a string-like region while `'a` (a
+//! lifetime) must not swallow the rest of the line. It is a scanner in the
+//! same hand-rolled style as the `.bench` parser in `sla-netlist` — no `syn`,
+//! no proc-macro machinery, because the build environment has no crates.io
+//! access and the rules only need token-level syntax.
+//!
+//! Coverage is the published Rust token grammar subset the workspace uses:
+//! line and (nested) block comments, string / raw string / byte string / raw
+//! byte string literals with arbitrary `#` counts, char and byte-char
+//! literals with escapes, lifetimes, raw identifiers, and integer vs float
+//! literal classification (decimal point, exponent, or `f32`/`f64` suffix).
+
+/// Lexical class of one [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (raw identifiers are reported by bare name).
+    Ident,
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+    /// Integer literal, including its suffix if any.
+    Int,
+    /// Float literal: decimal point, exponent, or `f32`/`f64` suffix.
+    Float,
+    /// String, raw string, byte string or raw byte string literal.
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// `//`-comment. `text` keeps the full comment including the slashes, so
+    /// rules can distinguish plain `//` from doc `///` / `//!` forms.
+    LineComment,
+    /// `/* ... */` comment, nesting-aware. May span lines.
+    BlockComment,
+}
+
+/// One lexed token with the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+    pub text: String,
+}
+
+impl Token {
+    /// `true` for the comment kinds.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// `true` when this is an identifier with exactly this name.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// `true` when this is this exact punctuation character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct
+            && self.text.len() == ch.len_utf8()
+            && self.text.starts_with(ch)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Tokenizes `src`. Unterminated literals or comments consume the rest of the
+/// input rather than erroring: the linter must degrade gracefully on code the
+/// compiler would reject anyway.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    /// Advances one char, counting newlines.
+    fn bump(&mut self) {
+        if self.peek(0) == Some('\n') {
+            self.line += 1;
+        }
+        self.i += 1;
+    }
+
+    fn push(&mut self, kind: TokenKind, line: u32, start: usize) {
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.out.push(Token { kind, line, text });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            let start = self.i;
+            match c {
+                _ if c.is_whitespace() => self.bump(),
+                '/' if self.peek(1) == Some('/') => {
+                    while self.peek(0).is_some_and(|c| c != '\n') {
+                        self.bump();
+                    }
+                    self.push(TokenKind::LineComment, line, start);
+                }
+                '/' if self.peek(1) == Some('*') => {
+                    self.block_comment(line, start);
+                }
+                '"' => {
+                    self.bump();
+                    self.string_body();
+                    self.push(TokenKind::Str, line, start);
+                }
+                'r' | 'b' if self.raw_or_byte_literal(line, start) => {}
+                '\'' => self.char_or_lifetime(line, start),
+                _ if c.is_ascii_digit() => self.number(line, start),
+                _ if is_ident_start(c) => {
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Ident, line, start);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, line, start);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Nesting-aware `/* ... */`.
+    fn block_comment(&mut self, line: u32, start: usize) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 && self.peek(0).is_some() {
+            if self.peek(0) == Some('/') && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == Some('*') && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        self.push(TokenKind::BlockComment, line, start);
+    }
+
+    /// Body of a non-raw string/byte-string after the opening `"`.
+    fn string_body(&mut self) {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                '"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Handles the `r` / `b` prefixed literal forms. Returns `false` when the
+    /// prefix turns out to start a plain identifier (the caller then lexes
+    /// it), consuming nothing in that case.
+    fn raw_or_byte_literal(&mut self, line: u32, start: usize) -> bool {
+        let c = self.peek(0).expect("caller checked");
+        // b'x' — byte char.
+        if c == 'b' && self.peek(1) == Some('\'') {
+            self.bump();
+            self.bump();
+            self.char_body();
+            self.push(TokenKind::Char, line, start);
+            return true;
+        }
+        // b"..." — byte string.
+        if c == 'b' && self.peek(1) == Some('"') {
+            self.bump();
+            self.bump();
+            self.string_body();
+            self.push(TokenKind::Str, line, start);
+            return true;
+        }
+        // r"..." / r#"..."# / br"..." / br#"..."# — raw (byte) strings, and
+        // r#ident — raw identifiers.
+        let after_b = usize::from(c == 'b');
+        if self.peek(after_b) != Some('r') {
+            return false;
+        }
+        let mut j = after_b + 1;
+        let mut hashes = 0usize;
+        while self.peek(j) == Some('#') {
+            hashes += 1;
+            j += 1;
+        }
+        match self.peek(j) {
+            Some('"') => {
+                for _ in 0..=j {
+                    self.bump();
+                }
+                self.raw_string_body(hashes);
+                self.push(TokenKind::Str, line, start);
+                true
+            }
+            Some(id) if c == 'r' && hashes == 1 && is_ident_start(id) => {
+                // Raw identifier: skip `r#`, report the bare name so rules
+                // match `r#HashMap` exactly like `HashMap`.
+                self.bump();
+                self.bump();
+                let name_start = self.i;
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                self.push(TokenKind::Ident, line, name_start);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Raw-string body after the opening quote: runs to `"` followed by
+    /// `hashes` `#` characters.
+    fn raw_string_body(&mut self, hashes: usize) {
+        while self.peek(0).is_some() {
+            if self.peek(0) == Some('"') && (0..hashes).all(|k| self.peek(1 + k) == Some('#')) {
+                for _ in 0..=hashes {
+                    self.bump();
+                }
+                return;
+            }
+            self.bump();
+        }
+    }
+
+    /// Body of a char literal after the opening `'`.
+    fn char_body(&mut self) {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                '\'' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// `'` starts either a char literal or a lifetime: it is a lifetime when
+    /// an identifier follows and the char after that identifier run is not a
+    /// closing `'` (so `'a'` is a char, `'a` and `'static` are lifetimes).
+    fn char_or_lifetime(&mut self, line: u32, start: usize) {
+        if self.peek(1).is_some_and(is_ident_start) && self.peek(1) != Some('\\') {
+            let mut j = 2;
+            while self.peek(j).is_some_and(is_ident_continue) {
+                j += 1;
+            }
+            if self.peek(j) != Some('\'') {
+                for _ in 0..j {
+                    self.bump();
+                }
+                self.push(TokenKind::Lifetime, line, start);
+                return;
+            }
+        }
+        self.bump();
+        self.char_body();
+        self.push(TokenKind::Char, line, start);
+    }
+
+    /// Integer or float literal starting at an ASCII digit.
+    fn number(&mut self, line: u32, start: usize) {
+        let mut is_float = false;
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'o' | 'b')) {
+            self.bump();
+            self.bump();
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_hexdigit() || c == '_')
+            {
+                self.bump();
+            }
+        } else {
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                self.bump();
+            }
+            // A decimal point makes a float unless it starts a range (`0..9`),
+            // a method call (`1.max(2)`) or a field access.
+            if self.peek(0) == Some('.') {
+                match self.peek(1) {
+                    Some(c) if c.is_ascii_digit() => {
+                        is_float = true;
+                        self.bump();
+                        while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                            self.bump();
+                        }
+                    }
+                    Some(c) if c == '.' || is_ident_start(c) => {}
+                    _ => {
+                        // Trailing-dot float like `1.`.
+                        is_float = true;
+                        self.bump();
+                    }
+                }
+            }
+            // Exponent.
+            if matches!(self.peek(0), Some('e' | 'E')) {
+                let (sign, digit) = match self.peek(1) {
+                    Some('+' | '-') => (1, self.peek(2)),
+                    other => (0, other),
+                };
+                if digit.is_some_and(|c| c.is_ascii_digit()) {
+                    is_float = true;
+                    for _ in 0..=sign {
+                        self.bump();
+                    }
+                    while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                        self.bump();
+                    }
+                }
+            }
+        }
+        // Suffix (`u64`, `usize`, `f32`...).
+        let suffix_start = self.i;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        let suffix: String = self.chars[suffix_start..self.i].iter().collect();
+        if suffix == "f32" || suffix == "f64" {
+            is_float = true;
+        }
+        let kind = if is_float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        };
+        self.push(kind, line, start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_depth() {
+        let toks = kinds("/* a /* b /* c */ */ still comment */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert!(toks[0].1.contains("still comment"));
+        assert_eq!(toks[1], (TokenKind::Ident, "x".to_string()));
+    }
+
+    #[test]
+    fn comment_markers_inside_strings_and_chars_are_not_comments() {
+        let toks = kinds("let s = \"// no\"; let c = '/'; let d = '/';");
+        assert!(toks.iter().all(|t| t.0 != TokenKind::LineComment));
+        assert_eq!(toks.iter().filter(|t| t.0 == TokenKind::Char).count(), 2);
+        let s = toks.iter().find(|t| t.0 == TokenKind::Str).unwrap();
+        assert_eq!(s.1, "\"// no\"");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_quotes() {
+        let toks = kinds(r###"let s = r#"quote " and // slashes"#; y"###);
+        let s = toks.iter().find(|t| t.0 == TokenKind::Str).unwrap();
+        assert!(s.1.contains("// slashes"));
+        assert!(toks.iter().any(|t| t.1 == "y"));
+        assert!(toks.iter().all(|t| t.0 != TokenKind::LineComment));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = kinds("let a = b\"//x\"; let b2 = br#\"//y\"#; let c = b'z';");
+        assert_eq!(toks.iter().filter(|t| t.0 == TokenKind::Str).count(), 2);
+        assert_eq!(toks.iter().filter(|t| t.0 == TokenKind::Char).count(), 1);
+        assert!(toks.iter().all(|t| t.0 != TokenKind::LineComment));
+    }
+
+    #[test]
+    fn raw_identifiers_report_bare_name() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokenKind::Ident && t.1 == "type"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'a' }");
+        assert_eq!(
+            toks.iter().filter(|t| t.0 == TokenKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|t| t.0 == TokenKind::Char).count(), 1);
+        let esc = kinds(r"let q = '\''; let b = '\\';");
+        assert_eq!(esc.iter().filter(|t| t.0 == TokenKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn float_vs_int_classification() {
+        let cases: &[(&str, TokenKind)] = &[
+            ("1.5", TokenKind::Float),
+            ("1e9", TokenKind::Float),
+            ("1E-9", TokenKind::Float),
+            ("2f64", TokenKind::Float),
+            ("3.0f32", TokenKind::Float),
+            ("7", TokenKind::Int),
+            ("0xff", TokenKind::Int),
+            ("0b1010", TokenKind::Int),
+            ("1_000", TokenKind::Int),
+            ("10u64", TokenKind::Int),
+        ];
+        for (src, want) in cases {
+            let toks = tokenize(src);
+            assert_eq!(toks.len(), 1, "{src}");
+            assert_eq!(toks[0].kind, *want, "{src}");
+        }
+        // Ranges, method calls and field/tuple access do not create floats.
+        for src in ["0..10", "1.max(2)", "x.0", "sig.len()"] {
+            assert!(
+                tokenize(src).iter().all(|t| t.kind != TokenKind::Float),
+                "{src}"
+            );
+        }
+        // Trailing-dot float.
+        assert_eq!(tokenize("1. ;")[0].kind, TokenKind::Float);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_tokens() {
+        let src = "a\n/* c1\nc2 */\nb \"s1\ns2\" c";
+        let toks = tokenize(src);
+        let find = |name: &str| toks.iter().find(|t| t.text == name).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 4);
+        assert_eq!(find("c"), 5);
+        let comment = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::BlockComment)
+            .unwrap();
+        assert_eq!(comment.line, 2);
+    }
+
+    #[test]
+    fn doc_comments_are_line_comments_with_full_text() {
+        let toks = tokenize("/// doc\n//! inner\n// plain");
+        assert_eq!(toks.len(), 3);
+        assert!(toks.iter().all(|t| t.kind == TokenKind::LineComment));
+        assert_eq!(toks[0].text, "/// doc");
+        assert_eq!(toks[1].text, "//! inner");
+        assert_eq!(toks[2].text, "// plain");
+    }
+}

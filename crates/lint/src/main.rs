@@ -1,0 +1,83 @@
+//! The `sla-lint` command-line front end.
+//!
+//! ```text
+//! sla-lint --workspace          lint the enclosing workspace's own sources
+//! sla-lint --list-rules         print the rule registry
+//! sla-lint <root-dir>...        lint the tree(s) under explicit roots
+//!                               (fixture mode — how the test suite drives it)
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sla_lint::{find_workspace_root, lint_tree, Report, RULES};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: sla-lint --workspace | --list-rules | <root-dir>...");
+        return ExitCode::from(2);
+    }
+
+    if args.iter().any(|a| a == "--list-rules") {
+        for rule in RULES {
+            println!("{:<16} {}", rule.id, rule.summary);
+            println!("{:<16}   {}", "", rule.rationale);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let roots: Vec<PathBuf> = if args.iter().any(|a| a == "--workspace") {
+        let cwd = match std::env::current_dir() {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("sla-lint: cannot resolve current directory: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match find_workspace_root(&cwd) {
+            Some(root) => vec![root],
+            None => {
+                eprintln!(
+                    "sla-lint: no workspace root (Cargo.toml with [workspace]) above {}",
+                    cwd.display()
+                );
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        args.iter().map(PathBuf::from).collect()
+    };
+
+    let mut total = Report::default();
+    for root in &roots {
+        match lint_tree(root) {
+            Ok(report) => {
+                total.files += report.files;
+                total.findings.extend(report.findings);
+                total.waivers.extend(report.waivers);
+            }
+            Err(e) => {
+                eprintln!("sla-lint: {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    for finding in &total.findings {
+        println!("{finding}");
+    }
+    eprintln!(
+        "sla-lint: {} file(s), {} finding(s), {} waiver(s)",
+        total.files,
+        total.findings.len(),
+        total.waivers.len()
+    );
+    if total.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

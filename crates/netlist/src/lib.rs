@@ -39,6 +39,7 @@ pub mod hash;
 pub mod levelize;
 pub mod parser;
 pub mod stems;
+pub mod wallclock;
 pub mod writer;
 
 pub use error::NetlistError;

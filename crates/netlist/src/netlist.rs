@@ -1,8 +1,8 @@
 use crate::error::NetlistError;
 use crate::gate::{GateType, NodeKind};
+use crate::hash::FastHashMap;
 use crate::seq::{ClockId, SeqInfo, SeqKind};
 use crate::Result;
-use std::collections::HashMap;
 use std::fmt;
 
 /// Index of a node inside a [`Netlist`] arena.
@@ -81,7 +81,7 @@ pub struct Netlist {
     outputs: Vec<NodeId>,
     seq_elems: Vec<NodeId>,
     clocks: Vec<String>,
-    by_name: HashMap<String, NodeId>,
+    by_name: FastHashMap<String, NodeId>,
 }
 
 impl Netlist {
@@ -311,7 +311,7 @@ struct PendingNode {
 pub struct NetlistBuilder {
     name: String,
     pending: Vec<PendingNode>,
-    names: HashMap<String, usize>,
+    names: FastHashMap<String, usize>,
     outputs: Vec<String>,
     clocks: Vec<String>,
 }
@@ -323,7 +323,7 @@ impl NetlistBuilder {
         NetlistBuilder {
             name: name.into(),
             pending: Vec::new(),
-            names: HashMap::new(),
+            names: FastHashMap::default(),
             outputs: Vec::new(),
             clocks: vec!["clk".to_string()],
         }

@@ -21,11 +21,11 @@
 //! #pragma reset f3 constrained
 //! ```
 
+use crate::hash::FastHashMap;
 use crate::{
     ClockEdge, GateType, LineConstraint, Netlist, NetlistBuilder, NetlistError, Result, SeqInfo,
     SeqKind,
 };
-use std::collections::HashMap;
 
 #[derive(Debug, Default, Clone)]
 struct SeqOverride {
@@ -49,8 +49,8 @@ fn parse_constraint(word: &str, line_no: usize) -> Result<LineConstraint> {
     }
 }
 
-fn collect_pragmas(text: &str) -> Result<HashMap<String, SeqOverride>> {
-    let mut map: HashMap<String, SeqOverride> = HashMap::new();
+fn collect_pragmas(text: &str) -> Result<FastHashMap<String, SeqOverride>> {
+    let mut map: FastHashMap<String, SeqOverride> = FastHashMap::default();
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
         let line = raw.trim();

@@ -1,0 +1,48 @@
+//! The one sanctioned wall-clock access point of the workspace.
+//!
+//! The determinism contract (ROADMAP "Determinism contract") forbids any
+//! pipeline result from depending on when or how fast it ran, so reading the
+//! wall clock is only legitimate for *reporting* — the `cpu` fields of the
+//! stats structs. This module is the single place allowed to touch
+//! `std::time::Instant` (enforced by `sla-lint`'s `wall-clock` rule, which
+//! allow-lists exactly this file): every other call site takes a
+//! [`StatsInstant`] from [`now`] and can extract nothing but an elapsed
+//! [`Duration`], so a timestamp can never leak into an ordering decision, a
+//! budget check or a verdict.
+
+use std::time::{Duration, Instant};
+
+/// An opaque stats-only timestamp.
+///
+/// Deliberately exposes no comparison, arithmetic or raw-instant access —
+/// the only thing a holder can do is ask how much wall-clock time has passed,
+/// which is only ever reported, never branched on.
+#[derive(Debug, Clone, Copy)]
+pub struct StatsInstant(Instant);
+
+impl StatsInstant {
+    /// Wall-clock time elapsed since [`now`] produced this timestamp.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+}
+
+/// Starts a stats-only wall-clock measurement.
+#[must_use]
+pub fn now() -> StatsInstant {
+    StatsInstant(Instant::now())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let t = now();
+        let a = t.elapsed();
+        let b = t.elapsed();
+        assert!(b >= a);
+    }
+}

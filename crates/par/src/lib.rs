@@ -38,18 +38,30 @@ use std::sync::{Condvar, Mutex};
 /// Name of the environment variable controlling the worker count.
 pub const THREADS_ENV: &str = "SLA_THREADS";
 
-/// Resolves the worker count: `SLA_THREADS` when it parses to a positive
-/// integer, otherwise [`std::thread::available_parallelism`] (1 when even that
-/// is unavailable). `SLA_THREADS=0`, empty or garbage falls back to the
-/// default rather than erroring: a misconfigured environment should never
+/// Resolves the worker count: [`env_threads`] when `SLA_THREADS` parses to a
+/// positive integer, otherwise [`std::thread::available_parallelism`] (1 when
+/// even that is unavailable). `SLA_THREADS=0`, empty or garbage falls back to
+/// the default rather than erroring: a misconfigured environment should never
 /// change results (they are thread-count independent), only the schedule.
 pub fn thread_count() -> usize {
+    env_threads().unwrap_or_else(default_parallelism)
+}
+
+/// The workspace's single sanctioned environment read: `SLA_THREADS` as a
+/// positive integer, or `None` when unset or unparsable.
+///
+/// The determinism contract allows the environment to pick a *schedule*
+/// (worker count), never a *result* — and `sla-lint`'s `env-read` rule
+/// allow-lists exactly this file (plus the `sla-bench` harness crate) so no
+/// other pipeline code can grow an ambient-configuration dependency. Any new
+/// scheduling knob must be read here, documented like this one.
+pub fn env_threads() -> Option<usize> {
     match std::env::var(THREADS_ENV) {
         Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => default_parallelism(),
+            Ok(n) if n >= 1 => Some(n),
+            _ => None,
         },
-        Err(_) => default_parallelism(),
+        Err(_) => None,
     }
 }
 

@@ -32,7 +32,7 @@ use sla_netlist::stems::fanout_stems;
 use sla_netlist::{Netlist, NodeId};
 use sla_sim::{full_fault_list, Fault, FaultSite, Logic3};
 use std::collections::BTreeSet;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Result of a FIRE run.
 #[derive(Debug, Clone, Default)]
@@ -58,7 +58,7 @@ impl FireResult {
 ///
 /// Returns an error when the combinational logic cannot be levelized.
 pub fn identify_untestable(netlist: &Netlist) -> sla_netlist::Result<FireResult> {
-    let start = Instant::now();
+    let start = sla_netlist::wallclock::now();
     let stems = fanout_stems(netlist);
     let faults = full_fault_list(netlist);
     let mut untestable: BTreeSet<Fault> = BTreeSet::new();

@@ -13,8 +13,7 @@ use crate::Result;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sla_netlist::levelize::levelize;
-use sla_netlist::{Netlist, NodeId, NodeKind};
-use std::collections::HashMap;
+use sla_netlist::{FastHashMap, Netlist, NodeId, NodeKind};
 
 /// Configuration of the equivalence-detection pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -189,7 +188,7 @@ pub fn find_equivalences(netlist: &Netlist, config: &EquivConfig) -> Result<Equi
         }
     };
 
-    let mut groups: HashMap<Vec<u64>, Vec<(NodeId, bool)>> = HashMap::new();
+    let mut groups: FastHashMap<Vec<u64>, Vec<(NodeId, bool)>> = FastHashMap::default();
     for id in netlist.gates() {
         let (canon, inverted) = canonical(&signatures[id.index()]);
         groups.entry(canon).or_default().push((id, inverted));

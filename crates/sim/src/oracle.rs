@@ -137,12 +137,16 @@ impl<'a> StateOracle<'a> {
         self.steady.len()
     }
 
-    /// Density of encoding: steady states divided by all `2^n` states. The
-    /// paper identifies a low density of encoding as the key driver of
-    /// sequential ATPG complexity.
-    pub fn density_of_encoding(&self) -> f64 {
-        let total = (1u64 << self.ffs.len()) as f64;
-        self.steady.len() as f64 / total
+    /// Density of encoding in basis points (1/100 of a percent): steady
+    /// states divided by all `2^n` states, so 10000 means every state is
+    /// reachable. The paper identifies a low density of encoding as the key
+    /// driver of sequential ATPG complexity.
+    ///
+    /// Integer on purpose: the determinism contract keeps float arithmetic
+    /// out of the pipeline crates (`sla-lint` rule `float-arith`).
+    pub fn density_of_encoding_bp(&self) -> u32 {
+        let total = 1u128 << self.ffs.len();
+        (self.steady.len() as u128 * 10_000 / total) as u32
     }
 
     /// Checks that the same-frame implication `a = va  ->  b = vb` holds in
@@ -292,7 +296,7 @@ mod tests {
         let both = (1u64 << bit(f1)) | (1u64 << bit(f2));
         assert!(!oracle.steady_states().contains(&both));
         assert!(oracle.num_steady() >= 2);
-        assert!(oracle.density_of_encoding() < 1.0);
+        assert!(oracle.density_of_encoding_bp() < 10_000);
     }
 
     #[test]
@@ -372,6 +376,6 @@ mod tests {
         let n = b.build().unwrap();
         let oracle = StateOracle::build(&n, 24).unwrap();
         assert_eq!(oracle.num_steady(), 2);
-        assert!((oracle.density_of_encoding() - 1.0).abs() < 1e-9);
+        assert_eq!(oracle.density_of_encoding_bp(), 10_000);
     }
 }

@@ -23,11 +23,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let oracle = StateOracle::build(&netlist, StateOracle::DEFAULT_BIT_LIMIT)?;
+    let density_bp = oracle.density_of_encoding_bp();
     println!(
-        "Exhaustive oracle: {} of {} states are reachable in steady state (density of encoding {:.4})",
+        "Exhaustive oracle: {} of {} states are reachable in steady state (density of encoding {}.{:02}%)",
         oracle.num_steady(),
         1u64 << netlist.num_sequential(),
-        oracle.density_of_encoding()
+        density_bp / 100,
+        density_bp % 100
     );
 
     let result = SequentialLearner::new(&netlist, LearnConfig::default()).learn()?;

@@ -8,6 +8,7 @@ use std::time::Duration;
 
 /// Formats a wall-clock duration, or `-` under `SLA_STABLE_OUTPUT`.
 pub fn cpu(d: Duration) -> String {
+    // sla-lint: allow(env-read): SLA_STABLE_OUTPUT only switches how a wall-clock stat is displayed, never a result
     if std::env::var_os("SLA_STABLE_OUTPUT").is_some() {
         "-".to_string()
     } else {

@@ -13,9 +13,8 @@ use seqlearn::atpg::{
 use seqlearn::circuits::{synthesize, SynthConfig};
 use seqlearn::learn::{CrossImplication, Implication, ImplicationDb, Literal};
 use seqlearn::netlist::levelize::levelize;
-use seqlearn::netlist::{Netlist, NodeId, NodeKind};
+use seqlearn::netlist::{FastHashMap, Netlist, NodeId, NodeKind};
 use seqlearn::sim::{full_fault_list, Fault, FaultSite, Logic3};
-use std::collections::HashMap;
 
 fn small_synth(seed: u64, flip_flops: usize, gates: usize) -> Netlist {
     synthesize(&SynthConfig {
@@ -195,7 +194,7 @@ proptest! {
 
         for _ in 0..steps {
             // From-scratch reference over the current assignments.
-            let assigned: HashMap<(usize, u32), bool> = decisions
+            let assigned: FastHashMap<(usize, u32), bool> = decisions
                 .iter()
                 .map(|d| ((d.frame, d.pi.0), d.value))
                 .collect();
@@ -361,7 +360,7 @@ proptest! {
 
             // Decisions after the growth still track the from-scratch
             // reference in every frame, old and appended alike.
-            let mut assigned: HashMap<(usize, u32), bool> = HashMap::new();
+            let mut assigned: FastHashMap<(usize, u32), bool> = FastHashMap::default();
             for _ in 0..3 {
                 let frame = (bits.next() % window as u64) as usize;
                 let pi = pis[(bits.next() % pis.len() as u64) as usize];

@@ -1,0 +1,74 @@
+//! Tier-1 enforcement of the determinism contract's static side: the
+//! `sla-lint` pass over the workspace's own sources, run as part of
+//! `cargo test -q` so a contract violation fails locally before CI sees it.
+
+use std::path::{Path, PathBuf};
+
+use sla_lint::lint_tree;
+
+fn workspace_root() -> PathBuf {
+    // The root package's manifest dir IS the workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_sources_are_lint_clean() {
+    let report = lint_tree(&workspace_root()).expect("workspace tree readable");
+    assert!(
+        report.files > 50,
+        "walked only {} files — discovery broke",
+        report.files
+    );
+    let rendered: Vec<String> = report.findings.iter().map(ToString::to_string).collect();
+    assert!(
+        rendered.is_empty(),
+        "determinism-contract violations:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn pipeline_crates_carry_zero_waivers() {
+    // The acceptance bar is stricter than "no findings" inside the
+    // deterministic pipeline crates: not even a waived violation may exist
+    // there. Waivers are permitted elsewhere (harness, examples) with a
+    // reason.
+    let report = lint_tree(&workspace_root()).expect("workspace tree readable");
+    let pipeline = ["crates/core/", "crates/sim/", "crates/atpg/", "crates/par/"];
+    let offenders: Vec<String> = report
+        .waivers
+        .iter()
+        .filter(|w| pipeline.iter().any(|p| w.file.starts_with(p)))
+        .map(|w| format!("{}:{}: allow({})", w.file, w.line, w.rule))
+        .collect();
+    assert!(
+        offenders.is_empty(),
+        "waivers are not permitted in the pipeline crates:\n{}",
+        offenders.join("\n")
+    );
+    for w in &report.waivers {
+        assert!(
+            !w.reason.trim().is_empty(),
+            "{}:{} has an empty reason",
+            w.file,
+            w.line
+        );
+    }
+}
+
+#[test]
+fn seeded_violation_fixture_fails_the_lint() {
+    // The negative control: if the linter ever goes blind (lexer regression,
+    // rule scoping bug), this catches it without waiting for a real
+    // violation to slip through.
+    let fixtures = workspace_root().join("crates/lint/fixtures/violations");
+    assert!(
+        Path::new(&fixtures).is_dir(),
+        "seeded-violation fixture tree missing"
+    );
+    let report = lint_tree(&fixtures).expect("fixture tree readable");
+    assert!(
+        !report.findings.is_empty(),
+        "the seeded-violation fixture produced zero findings"
+    );
+}
