@@ -1,5 +1,7 @@
 //! ATPG configuration.
 
+use sla_core::WorkBudget;
+
 /// How learned relations are applied during test generation (paper §4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum LearningMode {
@@ -43,6 +45,12 @@ pub struct AtpgConfig {
     /// Fault-simulate each generated test against the remaining fault list and
     /// drop everything it detects.
     pub fault_dropping: bool,
+    /// Deterministic work budget for the whole run: one unit per decision and
+    /// one per backtrack, charged at the serial merge boundary so the stopping
+    /// point is bit-identical for every `SLA_THREADS`. When the budget runs
+    /// out, already-merged verdicts are kept and the unprocessed tail is
+    /// classified `Aborted(Budget)`. Unlimited by default.
+    pub budget: WorkBudget,
 }
 
 impl Default for AtpgConfig {
@@ -54,6 +62,7 @@ impl Default for AtpgConfig {
             learning: LearningMode::None,
             grow_window: true,
             fault_dropping: true,
+            budget: WorkBudget::unlimited(),
         }
     }
 }
@@ -78,6 +87,12 @@ impl AtpgConfig {
         self.max_window = frames.max(1);
         self
     }
+
+    /// Returns a copy using the given work budget.
+    pub fn budget(mut self, budget: WorkBudget) -> Self {
+        self.budget = budget;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -91,14 +106,17 @@ mod tests {
         assert_eq!(c.learning, LearningMode::None);
         assert!(c.fault_dropping);
         assert!(c.grow_window);
+        assert!(c.budget.is_unlimited());
     }
 
     #[test]
     fn builder_style_modifiers() {
         let c = AtpgConfig::with_backtrack_limit(1000)
             .learning(LearningMode::ForbiddenValue)
-            .window(0);
+            .window(0)
+            .budget(WorkBudget::units(100));
         assert_eq!(c.backtrack_limit, 1000);
+        assert_eq!(c.budget, WorkBudget::units(100));
         assert_eq!(c.learning, LearningMode::ForbiddenValue);
         assert_eq!(c.max_window, 1);
         assert!(LearningMode::ForbiddenValue.uses_learning());

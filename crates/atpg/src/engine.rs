@@ -1,13 +1,48 @@
 //! The fault-list-level ATPG flow: tied-gate screening, per-fault test
 //! generation, sequence validation and fault dropping by fault simulation.
+//!
+//! # Resilient execution
+//!
+//! The run is structured as [`AtpgEngine::start`] → [`AtpgEngine::advance`] →
+//! [`AtpgEngine::finish`], with [`AtpgEngine::run`] as the one-shot wrapper.
+//! The explicit [`RunProgress`] state between the steps is what the
+//! resilience layer builds on:
+//!
+//! * **Deterministic budgets** — [`AtpgConfig::budget`] bounds the run in
+//!   work units (one per decision, one per backtrack), charged at the serial
+//!   merge boundary. The stopping point is a pure function of the merged
+//!   fault prefix, so a budget-limited run reports the *same* classified
+//!   prefix for every `SLA_THREADS`; the unprocessed tail is classified
+//!   [`AbortReason::Budget`].
+//! * **Checkpoint/resume** — `advance` accepts a `stop_before` fault index;
+//!   the suspended [`RunProgress`] can be snapshotted (see `sla-snapshot`)
+//!   and later rebuilt with [`RunProgress::from_parts`], and the resumed run
+//!   is bit-identical to an uninterrupted one.
+//! * **Panic quarantine** — each per-fault search runs inside
+//!   [`sla_par::quarantine`]; a panicking search poisons only that fault
+//!   (classified [`AbortReason::Panic`], message recorded in
+//!   [`AtpgRun::panics`] in strict fault order) and the run carries on.
 
 use crate::config::AtpgConfig;
 use crate::learned::LearnedData;
 use crate::tgen::{GenOutcome, GenResult, TestGenerator};
 use crate::Result;
+use sla_netlist::levelize::{levelize, Levelization};
 use sla_netlist::{FastHashMap, Netlist};
+use sla_par::JobOutcome;
 use sla_sim::{Fault, FaultSimulator, FaultSite, TestSequence};
 use std::time::Duration;
+
+/// Why a fault ended the run unclassified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortReason {
+    /// The per-fault backtrack/decision limit was exhausted without a verdict.
+    Limit,
+    /// The run-level work budget ran out before this fault was searched.
+    Budget,
+    /// The search for this fault panicked and was quarantined.
+    Panic,
+}
 
 /// Final classification of a fault after the ATPG run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -18,8 +53,8 @@ pub enum FaultStatus {
     /// The fault was proven untestable (tied-gate argument or exhausted search
     /// at the maximum window).
     Untestable,
-    /// The backtrack/decision budget was exhausted without a verdict.
-    Aborted,
+    /// No verdict, for the recorded reason.
+    Aborted(AbortReason),
 }
 
 /// Aggregate statistics of one ATPG run (the columns of Table 5).
@@ -31,7 +66,7 @@ pub struct AtpgStats {
     pub detected: usize,
     /// Faults classified untestable.
     pub untestable: usize,
-    /// Faults aborted.
+    /// Faults aborted (any [`AbortReason`]).
     pub aborted: usize,
     /// Faults classified untestable directly from tied gates, without search.
     pub untestable_from_ties: usize,
@@ -48,6 +83,9 @@ pub struct AtpgStats {
     /// path). A perf diagnostic: it varies with the thread count and wave
     /// partition, never with the verdicts.
     pub wasted_speculations: usize,
+    /// Work units charged against [`AtpgConfig::budget`] (decisions +
+    /// backtracks of merged searches). Deterministic across thread counts.
+    pub budget_spent: u64,
     /// Wall-clock time of the run.
     pub cpu: Duration,
 }
@@ -77,14 +115,123 @@ impl AtpgStats {
 }
 
 /// The result of running ATPG over a fault list.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AtpgRun {
     /// Per-fault classification, parallel to the input fault list.
     pub status: Vec<FaultStatus>,
     /// All generated (and validated) test sequences.
     pub sequences: Vec<TestSequence>,
+    /// Quarantined per-fault panics as `(fault index, message)`, in strict
+    /// fault order. Empty on a healthy run.
+    pub panics: Vec<(usize, String)>,
     /// Aggregate statistics.
     pub stats: AtpgStats,
+}
+
+/// Resumable state of a partially executed ATPG run.
+///
+/// Produced by [`AtpgEngine::start`], mutated by [`AtpgEngine::advance`],
+/// consumed by [`AtpgEngine::finish`]. All fields are a pure function of the
+/// merged fault prefix — except `wasted_speculations`, which is a
+/// thread-count-dependent perf diagnostic and is deliberately excluded from
+/// [`RunProgress::from_parts`] (snapshots reset it to zero).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunProgress {
+    /// First fault index not yet merged (everything below is classified or
+    /// was skipped as already classified).
+    next_fault: usize,
+    /// Per-fault verdicts; `None` = not yet classified.
+    status: Vec<Option<FaultStatus>>,
+    /// Validated test sequences generated so far, in merge order.
+    sequences: Vec<TestSequence>,
+    backtracks: usize,
+    decisions: usize,
+    test_vectors: usize,
+    untestable_from_ties: usize,
+    wasted_speculations: usize,
+    budget_spent: u64,
+    panics: Vec<(usize, String)>,
+}
+
+impl RunProgress {
+    /// Rebuilds progress from snapshotted parts (the inverse of the
+    /// accessors). `wasted_speculations` is intentionally not a parameter:
+    /// it is thread-count-dependent and resumed runs restart it at zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        next_fault: usize,
+        status: Vec<Option<FaultStatus>>,
+        sequences: Vec<TestSequence>,
+        backtracks: usize,
+        decisions: usize,
+        test_vectors: usize,
+        untestable_from_ties: usize,
+        budget_spent: u64,
+        panics: Vec<(usize, String)>,
+    ) -> Self {
+        RunProgress {
+            next_fault,
+            status,
+            sequences,
+            backtracks,
+            decisions,
+            test_vectors,
+            untestable_from_ties,
+            wasted_speculations: 0,
+            budget_spent,
+            panics,
+        }
+    }
+
+    /// First fault index not yet merged.
+    pub fn next_fault(&self) -> usize {
+        self.next_fault
+    }
+
+    /// Per-fault verdicts so far (`None` = unclassified).
+    pub fn status(&self) -> &[Option<FaultStatus>] {
+        &self.status
+    }
+
+    /// Validated sequences generated so far.
+    pub fn sequences(&self) -> &[TestSequence] {
+        &self.sequences
+    }
+
+    /// Total backtracks merged so far.
+    pub fn backtracks(&self) -> usize {
+        self.backtracks
+    }
+
+    /// Total decisions merged so far.
+    pub fn decisions(&self) -> usize {
+        self.decisions
+    }
+
+    /// Total test vectors across the sequences so far.
+    pub fn test_vectors(&self) -> usize {
+        self.test_vectors
+    }
+
+    /// Faults classified untestable by tied-gate screening.
+    pub fn untestable_from_ties(&self) -> usize {
+        self.untestable_from_ties
+    }
+
+    /// Work units charged so far.
+    pub fn budget_spent(&self) -> u64 {
+        self.budget_spent
+    }
+
+    /// Quarantined panics so far, in merge order.
+    pub fn panics(&self) -> &[(usize, String)] {
+        &self.panics
+    }
+
+    /// Returns `true` once every fault is classified or skipped.
+    pub fn is_complete(&self) -> bool {
+        self.next_fault >= self.status.len()
+    }
 }
 
 /// Sequential ATPG engine.
@@ -96,6 +243,10 @@ pub struct AtpgEngine<'a> {
     netlist: &'a Netlist,
     config: AtpgConfig,
     learned: LearnedData,
+    levels: Levelization,
+    /// Fault-injection hook: the search for this fault index panics instead
+    /// of running, exercising the quarantine path deterministically.
+    panic_at: Option<usize>,
 }
 
 impl<'a> AtpgEngine<'a> {
@@ -105,12 +256,12 @@ impl<'a> AtpgEngine<'a> {
     ///
     /// Returns an error when the netlist cannot be levelized.
     pub fn new(netlist: &'a Netlist, config: AtpgConfig) -> Result<Self> {
-        // Levelization errors are surfaced early by constructing a generator.
-        TestGenerator::new(netlist, config, &LearnedData::new())?;
         Ok(AtpgEngine {
             netlist,
             config,
             learned: LearnedData::new(),
+            levels: levelize(netlist)?,
+            panic_at: None,
         })
     }
 
@@ -121,9 +272,26 @@ impl<'a> AtpgEngine<'a> {
         self
     }
 
+    /// Fault-injection hook: the search for fault index `idx` panics instead
+    /// of running. The panic is quarantined like any real one — the fault is
+    /// classified [`AbortReason::Panic`] and everything else proceeds — so
+    /// the harness in `sla-snapshot` can assert the degradation contract at
+    /// a seed-chosen point. Deterministic across thread counts (a
+    /// speculative panic for a fault that an earlier sequence drops is
+    /// discarded exactly like any other speculative result).
+    pub fn with_panic_at(mut self, idx: usize) -> Self {
+        self.panic_at = Some(idx);
+        self
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &AtpgConfig {
         &self.config
+    }
+
+    /// The attached learned data.
+    pub fn learned(&self) -> &LearnedData {
+        &self.learned
     }
 
     /// Runs test generation over `faults` and returns per-fault statuses,
@@ -141,28 +309,31 @@ impl<'a> AtpgEngine<'a> {
     }
 
     /// [`AtpgEngine::run`] with an explicit worker-thread count.
-    ///
-    /// Faults are coupled only through fault dropping: the sequence generated
-    /// for fault *i* may classify later faults without search, and whether
-    /// fault *j* is searched at all depends on every earlier verdict. The
-    /// sharded run therefore generates **speculatively in waves**: the next
-    /// few unclassified faults are searched in parallel (test generation is a
-    /// pure function of one fault), and the results are merged strictly in
-    /// fault order, replaying the serial drop protocol — a speculative result
-    /// for a fault that an earlier-merged sequence drops is discarded, and
-    /// its backtracks are not counted, exactly as if it had never been
-    /// searched. The wave depth adapts to the observed drop density so
-    /// drop-heavy fault lists do not drown in wasted speculation.
     pub fn run_with_threads(&self, faults: &[Fault], threads: usize) -> AtpgRun {
         let start = sla_netlist::wallclock::now();
-        let mut status: Vec<Option<FaultStatus>> = vec![None; faults.len()];
-        let mut stats = AtpgStats {
-            total_faults: faults.len(),
-            ..AtpgStats::default()
-        };
+        let mut progress = self.start(faults);
+        self.advance(faults, threads, &mut progress, None);
+        let mut run = self.finish(progress);
+        run.stats.cpu = start.elapsed();
+        run
+    }
 
-        // Tied-gate screening: a fault stuck at the tied value of its line can
-        // never produce a difference; classified untestable with zero search.
+    /// Begins a run: allocates progress and performs tied-gate screening
+    /// (a fault stuck at the tied value of its line can never produce a
+    /// difference; classified untestable with zero search).
+    pub fn start(&self, faults: &[Fault]) -> RunProgress {
+        let mut progress = RunProgress {
+            next_fault: 0,
+            status: vec![None; faults.len()],
+            sequences: Vec::new(),
+            backtracks: 0,
+            decisions: 0,
+            test_vectors: 0,
+            untestable_from_ties: 0,
+            wasted_speculations: 0,
+            budget_spent: 0,
+            panics: Vec::new(),
+        };
         if !self.learned.tied().is_empty() {
             for (i, fault) in faults.iter().enumerate() {
                 let line_value = match fault.site {
@@ -172,205 +343,292 @@ impl<'a> AtpgEngine<'a> {
                     }
                 };
                 if line_value == Some(fault.stuck_at) {
-                    status[i] = Some(FaultStatus::Untestable);
-                    stats.untestable_from_ties += 1;
+                    progress.status[i] = Some(FaultStatus::Untestable);
+                    progress.untestable_from_ties += 1;
                 }
             }
         }
+        progress
+    }
 
-        let fault_sim =
-            FaultSimulator::new(self.netlist).expect("netlist already levelized in new()");
-        let mut sequences = Vec::new();
+    /// Advances a run up to (not including) fault index `stop_before`
+    /// (`None` = to the end of the list), merging verdicts into `progress`
+    /// in strict fault order. Stops early — at a deterministic,
+    /// thread-count-independent point — when the work budget is exhausted.
+    ///
+    /// Faults are coupled only through fault dropping: the sequence generated
+    /// for fault *i* may classify later faults without search, and whether
+    /// fault *j* is searched at all depends on every earlier verdict. The
+    /// sharded path therefore generates **speculatively in waves**: the next
+    /// few unclassified faults are searched in parallel (test generation is a
+    /// pure function of one fault), and the results are merged strictly in
+    /// fault order, replaying the serial drop protocol — a speculative result
+    /// for a fault that an earlier-merged sequence drops is discarded, and
+    /// its backtracks are not counted, exactly as if it had never been
+    /// searched. The wave depth adapts to the observed drop density so
+    /// drop-heavy fault lists do not drown in wasted speculation.
+    pub fn advance(
+        &self,
+        faults: &[Fault],
+        threads: usize,
+        progress: &mut RunProgress,
+        stop_before: Option<usize>,
+    ) {
+        let stop = stop_before.unwrap_or(faults.len()).min(faults.len());
+        let budget = self.config.budget;
+        let fault_sim = FaultSimulator::with_levels(self.netlist, self.levels.clone());
 
         if threads <= 1 {
-            let generator = TestGenerator::new(self.netlist, self.config, &self.learned)
-                .expect("netlist already levelized in new()");
-            for i in 0..faults.len() {
-                if status[i].is_some() {
+            let generator = TestGenerator::with_levels(
+                self.netlist,
+                self.levels.clone(),
+                self.config,
+                &self.learned,
+            );
+            while progress.next_fault < stop {
+                let i = progress.next_fault;
+                if progress.status[i].is_some() {
+                    progress.next_fault += 1;
                     continue;
                 }
-                let result = generator.generate(&faults[i]);
-                self.absorb(
-                    i,
-                    result,
-                    faults,
-                    &fault_sim,
-                    &mut status,
-                    &mut stats,
-                    &mut sequences,
-                );
+                if budget.exhausted(progress.budget_spent) {
+                    return;
+                }
+                let outcome = self.generate_quarantined(&generator, faults, i);
+                self.absorb(i, outcome, faults, &fault_sim, progress);
+                progress.next_fault += 1;
             }
-        } else {
-            // Fanout-cone masks of the fault sites, used to partition the
-            // speculative waves: a test generated for fault *i* mostly
-            // exercises *i*'s cone, so faults whose cones are disjoint are
-            // rarely dropped by each other's sequences — speculating them
-            // together wastes almost nothing. This is a heuristic, not a
-            // soundness argument: the strict fault-order merge below replays
-            // the drop protocol regardless of how the waves were cut, so
-            // only the wasted-speculation count depends on it.
-            let cones = FaultCones::build(self.netlist, faults);
-            let mut wasted = 0usize;
-            sla_par::with_pool(
-                threads,
-                |_worker| {
-                    TestGenerator::new(self.netlist, self.config, &self.learned)
-                        .expect("netlist already levelized in new()")
-                },
-                |generator, idx: usize| (idx, generator.generate(&faults[idx])),
-                |pool| {
-                    // Speculation depth: at least one fault per worker; grows
-                    // on waste-free merges, shrinks when a quarter of the
-                    // merged results had been dropped by earlier sequences.
-                    // All of this is a pure function of merged state, so wave
-                    // boundaries — which affect only performance — are
-                    // deterministic too.
-                    let mut wave_cap = threads;
-                    let mut next = 0usize;
-                    let mut results: FastHashMap<usize, GenResult> = FastHashMap::default();
-                    let mut union = cones.empty_mask();
-                    let mut last_wave = 0usize;
-                    let mut wasted_before = 0usize;
-                    loop {
-                        // Ordered merge: strictly ascending fault index,
-                        // replaying the serial loop (including dropping). A
-                        // speculative result may wait here across waves until
-                        // every earlier fault is classified — generation is a
-                        // pure function of the fault, so a held result stays
-                        // valid as long as its fault is unclassified.
-                        while next < faults.len() {
-                            if status[next].is_some() {
-                                // Classified without a search (tied screening
-                                // or dropped): the serial run never searched
-                                // it — a speculative result is wasted work.
-                                if results.remove(&next).is_some() {
-                                    wasted += 1;
-                                }
-                                next += 1;
-                            } else if let Some(result) = results.remove(&next) {
-                                self.absorb(
-                                    next,
-                                    result,
-                                    faults,
-                                    &fault_sim,
-                                    &mut status,
-                                    &mut stats,
-                                    &mut sequences,
-                                );
-                                next += 1;
-                            } else {
-                                break;
-                            }
-                        }
-                        if last_wave > 0 {
-                            let wave_waste = wasted - wasted_before;
-                            if wave_waste * 4 >= last_wave {
-                                wave_cap = (wave_cap / 2).max(threads);
-                            } else if wave_waste == 0 {
-                                wave_cap = (wave_cap * 2).min(8 * threads);
-                            }
-                        }
-                        if next >= faults.len() {
-                            break;
-                        }
-                        // Build the next wave: the merge blocker itself (so
-                        // every wave guarantees progress), then upcoming
-                        // unclassified faults whose cones are disjoint from
-                        // everything already in the wave.
-                        let mut wave = vec![next];
-                        union.copy_from(cones.mask(next));
-                        let scan_limit = 8 * wave_cap;
-                        let mut idx = next + 1;
-                        let mut scanned = 0usize;
-                        while wave.len() < wave_cap && idx < faults.len() && scanned < scan_limit {
-                            if status[idx].is_none()
-                                && !results.contains_key(&idx)
-                                && union.disjoint(cones.mask(idx))
-                            {
-                                union.union_with(cones.mask(idx));
-                                wave.push(idx);
-                            }
-                            scanned += 1;
-                            idx += 1;
-                        }
-                        for &i in &wave {
-                            pool.submit(i);
-                        }
-                        for _ in 0..wave.len() {
-                            let (i, result) = pool.recv();
-                            results.insert(i, result);
-                        }
-                        last_wave = wave.len();
-                        wasted_before = wasted;
-                    }
-                },
-            );
-            stats.wasted_speculations = wasted;
+            return;
         }
 
+        // Fanout-cone masks of the fault sites, used to partition the
+        // speculative waves: a test generated for fault *i* mostly
+        // exercises *i*'s cone, so faults whose cones are disjoint are
+        // rarely dropped by each other's sequences — speculating them
+        // together wastes almost nothing. This is a heuristic, not a
+        // soundness argument: the strict fault-order merge below replays
+        // the drop protocol regardless of how the waves were cut, so
+        // only the wasted-speculation count depends on it.
+        let cones = FaultCones::build(self.netlist, faults);
+        let mut wasted = 0usize;
+        sla_par::with_pool(
+            threads,
+            |_worker| {
+                TestGenerator::with_levels(
+                    self.netlist,
+                    self.levels.clone(),
+                    self.config,
+                    &self.learned,
+                )
+            },
+            |generator, idx: usize| (idx, self.generate_quarantined(generator, faults, idx)),
+            |pool| {
+                // Speculation depth: at least one fault per worker; grows
+                // on waste-free merges, shrinks when a quarter of the
+                // merged results had been dropped by earlier sequences.
+                // All of this is a pure function of merged state, so wave
+                // boundaries — which affect only performance — are
+                // deterministic too.
+                let mut wave_cap = threads;
+                let mut results: FastHashMap<usize, JobOutcome<GenResult>> = FastHashMap::default();
+                let mut union = cones.empty_mask();
+                let mut last_wave = 0usize;
+                let mut wasted_before = 0usize;
+                loop {
+                    // Ordered merge: strictly ascending fault index,
+                    // replaying the serial loop (including dropping and the
+                    // budget stop). A speculative result may wait here across
+                    // waves until every earlier fault is classified —
+                    // generation is a pure function of the fault, so a held
+                    // result stays valid as long as its fault is
+                    // unclassified.
+                    let mut exhausted = false;
+                    while progress.next_fault < stop {
+                        let next = progress.next_fault;
+                        if progress.status[next].is_some() {
+                            // Classified without a search (tied screening
+                            // or dropped): the serial run never searched
+                            // it — a speculative result is wasted work.
+                            if results.remove(&next).is_some() {
+                                wasted += 1;
+                            }
+                            progress.next_fault += 1;
+                        } else if budget.exhausted(progress.budget_spent) {
+                            // Same check position as the serial loop: a
+                            // pure function of the merged prefix, so every
+                            // thread count stops at this exact fault.
+                            exhausted = true;
+                            break;
+                        } else if let Some(outcome) = results.remove(&next) {
+                            self.absorb(next, outcome, faults, &fault_sim, progress);
+                            progress.next_fault += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    if last_wave > 0 {
+                        let wave_waste = wasted - wasted_before;
+                        if wave_waste * 4 >= last_wave {
+                            wave_cap = (wave_cap / 2).max(threads);
+                        } else if wave_waste == 0 {
+                            wave_cap = (wave_cap * 2).min(8 * threads);
+                        }
+                    }
+                    if exhausted || progress.next_fault >= stop {
+                        break;
+                    }
+                    // Build the next wave: the merge blocker itself (so
+                    // every wave guarantees progress), then upcoming
+                    // unclassified faults whose cones are disjoint from
+                    // everything already in the wave.
+                    let blocker = progress.next_fault;
+                    let mut wave = vec![blocker];
+                    union.copy_from(cones.mask(blocker));
+                    let scan_limit = 8 * wave_cap;
+                    let mut idx = blocker + 1;
+                    let mut scanned = 0usize;
+                    while wave.len() < wave_cap && idx < stop && scanned < scan_limit {
+                        if progress.status[idx].is_none()
+                            && !results.contains_key(&idx)
+                            && union.disjoint(cones.mask(idx))
+                        {
+                            union.union_with(cones.mask(idx));
+                            wave.push(idx);
+                        }
+                        scanned += 1;
+                        idx += 1;
+                    }
+                    for &i in &wave {
+                        pool.submit(i);
+                    }
+                    for _ in 0..wave.len() {
+                        let (i, result) = pool.recv();
+                        results.insert(i, result);
+                    }
+                    last_wave = wave.len();
+                    wasted_before = wasted;
+                }
+            },
+        );
+        progress.wasted_speculations += wasted;
+    }
+
+    /// Completes a run: remaining unclassified faults are charged to the
+    /// exhausted budget and the aggregate statistics are computed. `cpu` is
+    /// left at zero — only the one-shot wrappers measure wall clock.
+    pub fn finish(&self, progress: RunProgress) -> AtpgRun {
+        let RunProgress {
+            status,
+            sequences,
+            backtracks,
+            decisions,
+            test_vectors,
+            untestable_from_ties,
+            wasted_speculations,
+            budget_spent,
+            panics,
+            ..
+        } = progress;
         let status: Vec<FaultStatus> = status
             .into_iter()
-            .map(|s| s.unwrap_or(FaultStatus::Aborted))
+            .map(|s| s.unwrap_or(FaultStatus::Aborted(AbortReason::Budget)))
             .collect();
-        stats.detected = status
-            .iter()
-            .filter(|s| **s == FaultStatus::Detected)
-            .count();
-        stats.untestable = status
-            .iter()
-            .filter(|s| **s == FaultStatus::Untestable)
-            .count();
-        stats.aborted = status
-            .iter()
-            .filter(|s| **s == FaultStatus::Aborted)
-            .count();
-        stats.sequences = sequences.len();
-        stats.cpu = start.elapsed();
-
+        let stats = AtpgStats {
+            total_faults: status.len(),
+            detected: status
+                .iter()
+                .filter(|s| **s == FaultStatus::Detected)
+                .count(),
+            untestable: status
+                .iter()
+                .filter(|s| **s == FaultStatus::Untestable)
+                .count(),
+            aborted: status
+                .iter()
+                .filter(|s| matches!(s, FaultStatus::Aborted(_)))
+                .count(),
+            untestable_from_ties,
+            backtracks,
+            decisions,
+            sequences: sequences.len(),
+            test_vectors,
+            wasted_speculations,
+            budget_spent,
+            cpu: Duration::ZERO,
+        };
         AtpgRun {
             status,
             sequences,
+            panics,
             stats,
         }
     }
 
-    /// Merges the generation result of fault `i` into the run state — the
+    /// Runs one per-fault search inside the panic quarantine (honoring the
+    /// injection hook), so a panicking search becomes a mergeable outcome
+    /// instead of killing a worker.
+    fn generate_quarantined(
+        &self,
+        generator: &TestGenerator<'_>,
+        faults: &[Fault],
+        idx: usize,
+    ) -> JobOutcome<GenResult> {
+        let panic_at = self.panic_at;
+        sla_par::quarantine(move || {
+            if panic_at == Some(idx) {
+                panic!("injected panic at fault {idx}");
+            }
+            generator.generate(&faults[idx])
+        })
+    }
+
+    /// Merges the generation outcome of fault `i` into the run state — the
     /// loop body shared verbatim by the serial path and the in-order merge of
     /// the sharded path (which is what keeps the two bit-identical).
-    #[allow(clippy::too_many_arguments)]
     fn absorb(
         &self,
         i: usize,
-        result: GenResult,
+        outcome: JobOutcome<GenResult>,
         faults: &[Fault],
         fault_sim: &FaultSimulator<'_>,
-        status: &mut [Option<FaultStatus>],
-        stats: &mut AtpgStats,
-        sequences: &mut Vec<TestSequence>,
+        progress: &mut RunProgress,
     ) {
-        stats.backtracks += result.backtracks;
-        stats.decisions += result.decisions;
+        let result = match outcome {
+            JobOutcome::Done(result) => result,
+            JobOutcome::Panicked(message) => {
+                // Quarantine: only this fault is poisoned; no work units are
+                // charged (the search produced none that were merged).
+                progress.status[i] = Some(FaultStatus::Aborted(AbortReason::Panic));
+                progress.panics.push((i, message));
+                return;
+            }
+        };
+        progress.backtracks += result.backtracks;
+        progress.decisions += result.decisions;
+        progress.budget_spent += (result.backtracks + result.decisions) as u64;
         match result.outcome {
             GenOutcome::Detected(sequence) => {
-                status[i] = Some(FaultStatus::Detected);
+                progress.status[i] = Some(FaultStatus::Detected);
                 if self.config.fault_dropping {
                     // Drop every remaining fault the new sequence detects.
                     let remaining: Vec<usize> = (i + 1..faults.len())
-                        .filter(|&j| status[j].is_none())
+                        .filter(|&j| progress.status[j].is_none())
                         .collect();
                     let targets: Vec<Fault> = remaining.iter().map(|&j| faults[j]).collect();
                     let hit = fault_sim.detected_faults(&targets, &sequence);
                     for (&j, &detected) in remaining.iter().zip(&hit) {
                         if detected {
-                            status[j] = Some(FaultStatus::Detected);
+                            progress.status[j] = Some(FaultStatus::Detected);
                         }
                     }
                 }
-                stats.test_vectors += sequence.len();
-                sequences.push(sequence);
+                progress.test_vectors += sequence.len();
+                progress.sequences.push(sequence);
             }
-            GenOutcome::Untestable => status[i] = Some(FaultStatus::Untestable),
-            GenOutcome::Aborted => status[i] = Some(FaultStatus::Aborted),
+            GenOutcome::Untestable => progress.status[i] = Some(FaultStatus::Untestable),
+            GenOutcome::Aborted => {
+                progress.status[i] = Some(FaultStatus::Aborted(AbortReason::Limit))
+            }
         }
     }
 }
@@ -463,7 +721,7 @@ impl FaultCones {
 mod tests {
     use super::*;
     use crate::config::LearningMode;
-    use sla_core::{LearnConfig, SequentialLearner};
+    use sla_core::{LearnConfig, SequentialLearner, WorkBudget};
     use sla_netlist::{GateType, NetlistBuilder};
     use sla_sim::{collapsed_fault_list, full_fault_list};
 
@@ -494,6 +752,7 @@ mod tests {
             run.stats.detected + run.stats.untestable + run.stats.aborted,
             run.stats.total_faults
         );
+        assert!(run.panics.is_empty());
         // Every sequence actually detects at least one listed fault.
         let sim = FaultSimulator::new(&n).unwrap();
         for seq in &run.sequences {
@@ -620,6 +879,10 @@ mod tests {
                     reference.stats.test_vectors, sharded.stats.test_vectors,
                     "t={threads}"
                 );
+                assert_eq!(
+                    reference.stats.budget_spent, sharded.stats.budget_spent,
+                    "t={threads}"
+                );
             }
         }
     }
@@ -659,5 +922,125 @@ mod tests {
         assert_eq!(run.stats.total_faults, faults.len());
         assert!(run.stats.cpu.as_nanos() > 0);
         assert_eq!(run.stats.sequences, run.sequences.len());
+    }
+
+    /// A finite budget stops the run at the same classified prefix for every
+    /// thread count; the unprocessed tail is `Aborted(Budget)` and every
+    /// fault classified under the budget agrees with the unlimited run.
+    #[test]
+    fn budget_limits_the_run_deterministically() {
+        let n = sample();
+        let faults = full_fault_list(&n);
+        let unlimited = AtpgEngine::new(&n, AtpgConfig::default())
+            .unwrap()
+            .run_with_threads(&faults, 1);
+        assert!(unlimited.stats.budget_spent > 0);
+        assert!(!unlimited
+            .status
+            .contains(&FaultStatus::Aborted(AbortReason::Budget)));
+
+        let config =
+            AtpgConfig::default().budget(WorkBudget::units(unlimited.stats.budget_spent / 2));
+        let engine = AtpgEngine::new(&n, config).unwrap();
+        let reference = engine.run_with_threads(&faults, 1);
+        assert!(
+            reference
+                .status
+                .contains(&FaultStatus::Aborted(AbortReason::Budget)),
+            "half the budget must leave a tail unprocessed"
+        );
+        assert!(reference.stats.budget_spent <= unlimited.stats.budget_spent);
+        for (i, s) in reference.status.iter().enumerate() {
+            if *s != FaultStatus::Aborted(AbortReason::Budget) {
+                assert_eq!(
+                    *s, unlimited.status[i],
+                    "classified-prefix verdicts must match the unlimited run"
+                );
+            }
+        }
+        for threads in [2, 4] {
+            let sharded = engine.run_with_threads(&faults, threads);
+            assert_eq!(reference.status, sharded.status, "t={threads}");
+            assert_eq!(reference.sequences, sharded.sequences, "t={threads}");
+            assert_eq!(
+                reference.stats.budget_spent, sharded.stats.budget_spent,
+                "t={threads}"
+            );
+        }
+
+        // A zero budget searches nothing: every non-tied fault is Budget.
+        let zero = AtpgEngine::new(&n, AtpgConfig::default().budget(WorkBudget::units(0)))
+            .unwrap()
+            .run_with_threads(&faults, 1);
+        assert_eq!(zero.stats.budget_spent, 0);
+        assert!(zero
+            .status
+            .iter()
+            .all(|s| *s == FaultStatus::Aborted(AbortReason::Budget)));
+    }
+
+    /// An injected panic is quarantined: only the target fault is poisoned,
+    /// the message lands in `panics`, and every thread count agrees.
+    #[test]
+    fn injected_panic_quarantines_only_that_fault() {
+        let n = sample();
+        let faults = full_fault_list(&n);
+        // Fault 0 is always searched (no ties, nothing earlier to drop it).
+        let engine = AtpgEngine::new(&n, AtpgConfig::default())
+            .unwrap()
+            .with_panic_at(0);
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let reference = engine.run_with_threads(&faults, 1);
+        let sharded: Vec<AtpgRun> = [2, 4]
+            .iter()
+            .map(|&t| engine.run_with_threads(&faults, t))
+            .collect();
+        std::panic::set_hook(hook);
+
+        assert_eq!(
+            reference.status[0],
+            FaultStatus::Aborted(AbortReason::Panic)
+        );
+        assert_eq!(reference.panics.len(), 1);
+        assert_eq!(reference.panics[0].0, 0);
+        assert!(reference.panics[0].1.contains("injected panic at fault 0"));
+        // Every other fault still gets a verdict; the run completes.
+        assert!(reference.status[1..]
+            .iter()
+            .all(|s| *s != FaultStatus::Aborted(AbortReason::Panic)));
+        for (t, run) in [2usize, 4].iter().zip(&sharded) {
+            assert_eq!(reference.status, run.status, "t={t}");
+            assert_eq!(reference.sequences, run.sequences, "t={t}");
+            assert_eq!(reference.panics, run.panics, "t={t}");
+        }
+    }
+
+    /// Advancing in slices (the checkpoint boundaries of the snapshot layer)
+    /// and finishing must be bit-identical to the one-shot run.
+    #[test]
+    fn sliced_advance_matches_one_shot_run() {
+        let n = sample();
+        let faults = full_fault_list(&n);
+        let engine = AtpgEngine::new(&n, AtpgConfig::default()).unwrap();
+        let one_shot = {
+            let mut run = engine.run_with_threads(&faults, 1);
+            run.stats.cpu = Duration::ZERO;
+            run
+        };
+        for threads in [1, 4] {
+            for boundary in [1, faults.len() / 2, faults.len().saturating_sub(1)] {
+                let mut progress = engine.start(&faults);
+                engine.advance(&faults, threads, &mut progress, Some(boundary));
+                assert!(progress.next_fault() >= boundary.min(faults.len()));
+                engine.advance(&faults, threads, &mut progress, None);
+                assert!(progress.is_complete());
+                let mut run = engine.finish(progress);
+                // Wave partitioning changes with the slicing, so the one
+                // documented thread-variant diagnostic is excluded.
+                run.stats.wasted_speculations = one_shot.stats.wasted_speculations;
+                assert_eq!(run, one_shot, "t={threads} boundary={boundary}");
+            }
+        }
     }
 }

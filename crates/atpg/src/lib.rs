@@ -52,10 +52,14 @@ pub mod machines;
 pub mod tgen;
 
 pub use config::{AtpgConfig, LearningMode};
-pub use engine::{AtpgEngine, AtpgRun, AtpgStats, FaultStatus};
+pub use engine::{AbortReason, AtpgEngine, AtpgRun, AtpgStats, FaultStatus, RunProgress};
 pub use learned::{ImplicationLayer, IncrementalLayer, LearnedData, LiteralAdjacency};
 pub use machines::{MachineMark, SearchMachines};
 pub use tgen::{GenOutcome, GenResult, TestGenerator};
+
+// The budget type lives in `sla-core` (the learner shares it); re-exported so
+// ATPG-only callers need not depend on the learning crate directly.
+pub use sla_core::WorkBudget;
 
 /// Result alias: errors are structural netlist errors surfaced unchanged.
 pub type Result<T> = std::result::Result<T, sla_netlist::NetlistError>;

@@ -78,6 +78,24 @@ impl<'a> TestGenerator<'a> {
     ///
     /// Returns an error when the combinational logic cannot be levelized.
     pub fn new(netlist: &'a Netlist, config: AtpgConfig, learned: &LearnedData) -> Result<Self> {
+        Ok(Self::with_levels(
+            netlist,
+            levelize(netlist)?,
+            config,
+            learned,
+        ))
+    }
+
+    /// Builds a generator from an existing levelization, infallibly.
+    ///
+    /// The ATPG engine validates a levelization once at construction and hands
+    /// clones to every per-worker generator, so no fallible work remains here.
+    pub fn with_levels(
+        netlist: &'a Netlist,
+        levels: Levelization,
+        config: AtpgConfig,
+        learned: &LearnedData,
+    ) -> Self {
         let adjacency = if config.learning.uses_learning() {
             LiteralAdjacency::build_with_cross(
                 learned.implications(),
@@ -87,12 +105,12 @@ impl<'a> TestGenerator<'a> {
         } else {
             LiteralAdjacency::default()
         };
-        Ok(TestGenerator {
+        TestGenerator {
             netlist,
-            levels: levelize(netlist)?,
+            levels,
             config,
             adjacency,
-        })
+        }
     }
 
     /// Attempts to generate a test for `fault`.

@@ -90,6 +90,29 @@ fn format_ms(ns: f64) -> String {
     format!("{:.3}", ns / 1e6)
 }
 
+/// Folds one result file's failure modes — unreadable path, malformed
+/// records, or no records at all (an empty JSONL from an interrupted bench
+/// run parses to nothing) — into a single one-line diagnostic, so CI logs
+/// show exactly which input is broken and why.
+fn gather(path: &str, text: Result<String, String>) -> Result<Vec<Record>, String> {
+    let text = text.map_err(|e| format!("cannot read {path}: {e}"))?;
+    let (records, malformed) = parse_records(&text);
+    if !malformed.is_empty() {
+        return Err(format!(
+            "{path}: {} record(s) without a usable median_ns ({}); refusing to diff",
+            malformed.len(),
+            malformed.join(", ")
+        ));
+    }
+    if records.is_empty() {
+        return Err(format!(
+            "{path}: no benchmark records found (empty or non-benchmark file); \
+             regenerate it with SLA_BENCH_JSON=<path> cargo bench -p sla-bench"
+        ));
+    }
+    Ok(records)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths: Vec<&str> = Vec::new();
@@ -114,40 +137,21 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let read = |path: &str| match std::fs::read_to_string(path) {
-        Ok(text) => Some(text),
+    let read = |path: &str| std::fs::read_to_string(path).map_err(|e| e.to_string());
+    let baseline = match gather(baseline_path, read(baseline_path)) {
+        Ok(records) => records,
         Err(e) => {
-            eprintln!("cannot read {path}: {e}");
-            None
+            eprintln!("{e}");
+            return ExitCode::from(2);
         }
     };
-    let (Some(baseline_text), Some(current_text)) = (read(baseline_path), read(current_path))
-    else {
-        return ExitCode::from(2);
-    };
-    let (baseline, baseline_bad) = parse_records(&baseline_text);
-    let (current, current_bad) = parse_records(&current_text);
-    for (path, bad) in [(baseline_path, &baseline_bad), (current_path, &current_bad)] {
-        if !bad.is_empty() {
-            eprintln!(
-                "{path}: {} record(s) without a usable median_ns: {}",
-                bad.len(),
-                bad.join(", ")
-            );
+    let current = match gather(current_path, read(current_path)) {
+        Ok(records) => records,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
         }
-    }
-    if !baseline_bad.is_empty() || !current_bad.is_empty() {
-        eprintln!("refusing to diff files with malformed records");
-        return ExitCode::from(2);
-    }
-    if baseline.is_empty() || current.is_empty() {
-        eprintln!(
-            "no benchmark records parsed ({} in {baseline_path}, {} in {current_path})",
-            baseline.len(),
-            current.len()
-        );
-        return ExitCode::from(2);
-    }
+    };
 
     println!(
         "{:<44} {:>12} {:>12} {:>9}",
@@ -361,6 +365,39 @@ mod tests {
             records[1].threads, 1,
             "pre-PR4 records were single-threaded"
         );
+    }
+
+    #[test]
+    fn gather_reports_unreadable_files_in_one_line() {
+        let err = gather("missing.json", Err("No such file or directory".into())).unwrap_err();
+        assert!(err.starts_with("cannot read missing.json:"), "{err}");
+        assert!(!err.contains('\n'), "diagnostic must be one line: {err}");
+    }
+
+    #[test]
+    fn gather_reports_empty_input_in_one_line() {
+        for text in ["", "\n\n", "not json at all"] {
+            let err = gather("empty.jsonl", Ok(text.to_string())).unwrap_err();
+            assert!(err.contains("no benchmark records"), "{err}");
+            assert!(err.contains("empty.jsonl"), "{err}");
+            assert!(!err.contains('\n'), "diagnostic must be one line: {err}");
+        }
+    }
+
+    #[test]
+    fn gather_refuses_malformed_records() {
+        let text = r#"{"group": "g", "bench": "a", "median_ns": 90}
+{"group": "g", "bench": "broken", "samples": 10}
+"#;
+        let err = gather("holes.jsonl", Ok(text.to_string())).unwrap_err();
+        assert!(err.contains("g/broken"), "{err}");
+        assert!(err.contains("refusing to diff"), "{err}");
+        let ok = gather(
+            "fine.jsonl",
+            Ok(r#"{"group": "g", "bench": "a", "median_ns": 90}"#.to_string()),
+        )
+        .unwrap();
+        assert_eq!(ok.len(), 1);
     }
 
     #[test]

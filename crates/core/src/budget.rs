@@ -1,0 +1,102 @@
+//! Deterministic work budgets.
+//!
+//! A [`WorkBudget`] bounds how much *work* a run may spend — never how much
+//! wall-clock time. Work is counted in discrete, schedule-independent units
+//! (decisions and backtracks in ATPG, stem injections and multiple-node
+//! learning targets in the learner), so a budget-limited run stops at exactly
+//! the same point for every `SLA_THREADS` value: the spent counter is a pure
+//! function of the serially-merged prefix of the work stream, per the
+//! workspace determinism contract (ROADMAP "Determinism contract").
+//!
+//! An exhausted budget never discards finished work: consumers report a
+//! structured partial result — in ATPG the already-classified prefix keeps its
+//! verdicts and the unprocessed tail is classified `Aborted(Budget)`.
+
+/// A deterministic bound on run effort, in work units.
+///
+/// The default is [`WorkBudget::unlimited`], which never exhausts; every
+/// existing entry point therefore behaves exactly as before unless a caller
+/// opts into a finite budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WorkBudget {
+    units: u64,
+}
+
+impl WorkBudget {
+    const UNLIMITED: u64 = u64::MAX;
+
+    /// A budget that never exhausts.
+    pub const fn unlimited() -> Self {
+        WorkBudget {
+            units: Self::UNLIMITED,
+        }
+    }
+
+    /// A budget of `n` work units.
+    pub const fn units(n: u64) -> Self {
+        WorkBudget { units: n }
+    }
+
+    /// Returns `true` for the unlimited budget.
+    pub const fn is_unlimited(self) -> bool {
+        self.units == Self::UNLIMITED
+    }
+
+    /// The total number of units (u64::MAX when unlimited).
+    pub const fn limit(self) -> u64 {
+        self.units
+    }
+
+    /// Returns `true` when `spent` units exhaust this budget. The unlimited
+    /// budget is never exhausted.
+    pub fn exhausted(self, spent: u64) -> bool {
+        !self.is_unlimited() && spent >= self.units
+    }
+
+    /// Units left after spending `spent` (saturating; u64::MAX when
+    /// unlimited).
+    pub fn remaining(self, spent: u64) -> u64 {
+        if self.is_unlimited() {
+            Self::UNLIMITED
+        } else {
+            self.units.saturating_sub(spent)
+        }
+    }
+}
+
+impl Default for WorkBudget {
+    fn default() -> Self {
+        WorkBudget::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let b = WorkBudget::default();
+        assert!(b.is_unlimited());
+        assert!(!b.exhausted(0));
+        assert!(!b.exhausted(u64::MAX));
+        assert_eq!(b.remaining(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn finite_budget_exhausts_at_the_limit() {
+        let b = WorkBudget::units(10);
+        assert!(!b.is_unlimited());
+        assert!(!b.exhausted(9));
+        assert!(b.exhausted(10));
+        assert!(b.exhausted(11));
+        assert_eq!(b.remaining(4), 6);
+        assert_eq!(b.remaining(15), 0);
+        assert_eq!(b.limit(), 10);
+    }
+
+    #[test]
+    fn zero_budget_is_immediately_exhausted() {
+        assert!(WorkBudget::units(0).exhausted(0));
+    }
+}

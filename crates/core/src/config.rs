@@ -1,5 +1,6 @@
 //! Configuration of the sequential learning engine.
 
+use crate::budget::WorkBudget;
 use sla_sim::EquivConfig;
 
 /// Tuning knobs of [`crate::SequentialLearner`].
@@ -35,6 +36,13 @@ pub struct LearnConfig {
     /// keeps preprocessing time predictable while learning the most supported
     /// targets first.
     pub max_multi_node_targets: usize,
+    /// Deterministic work budget for the whole learning run: one unit per
+    /// stem injection and one per multiple-node learning target. When the
+    /// budget runs out, the remaining stems/targets are skipped — the
+    /// truncation happens *before* the parallel passes, so the learned
+    /// database is bit-identical for every `SLA_THREADS`. Unlimited by
+    /// default.
+    pub budget: WorkBudget,
 }
 
 impl Default for LearnConfig {
@@ -49,6 +57,7 @@ impl Default for LearnConfig {
             closure_limit: 0,
             equiv_config: EquivConfig::default(),
             max_multi_node_targets: 0,
+            budget: WorkBudget::unlimited(),
         }
     }
 }
@@ -91,6 +100,12 @@ impl LearnConfig {
         self.max_frames = frames.max(1);
         self
     }
+
+    /// Sets the work budget, returning the modified configuration.
+    pub fn with_budget(mut self, budget: WorkBudget) -> Self {
+        self.budget = budget;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -118,5 +133,12 @@ mod tests {
         assert_eq!(LearnConfig::combinational_only().max_frames, 1);
         assert_eq!(LearnConfig::default().with_max_frames(0).max_frames, 1);
         assert_eq!(LearnConfig::default().with_max_frames(7).max_frames, 7);
+    }
+
+    #[test]
+    fn budget_defaults_to_unlimited() {
+        assert!(LearnConfig::default().budget.is_unlimited());
+        let c = LearnConfig::default().with_budget(WorkBudget::units(5));
+        assert_eq!(c.budget, WorkBudget::units(5));
     }
 }

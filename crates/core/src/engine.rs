@@ -35,6 +35,14 @@ pub struct LearnStats {
     pub tied_sequential: usize,
     /// Cross-frame relations collected (when enabled).
     pub cross_frame: usize,
+    /// Work units actually spent (stem injections + multiple-node targets).
+    /// A pure function of the netlist and configuration, identical for every
+    /// thread count.
+    pub budget_spent: u64,
+    /// `true` when a finite [`crate::WorkBudget`] cut the run short: stems or
+    /// multiple-node targets were skipped. Always `false` under the default
+    /// unlimited budget.
+    pub budget_exhausted: bool,
     /// Wall-clock learning time.
     pub cpu: Duration,
 }
@@ -181,6 +189,13 @@ impl<'a> SequentialLearner<'a> {
         let mut cross_frame = Vec::new();
         let mut tied: BTreeMap<NodeId, TiedGate> = BTreeMap::new();
         let mut multi_targets = 0usize;
+        // Budget accounting: one unit per stem injection, one per
+        // multiple-node target. Truncation happens before the sharded passes
+        // run, so the work list — and therefore the learned database — is a
+        // pure function of the configuration, never of the schedule.
+        let budget = self.config.budget;
+        let mut budget_spent = 0u64;
+        let mut budget_exhausted = false;
 
         for class in &classes {
             let mask: Option<Vec<bool>> = class.as_ref().map(|c| c.activation_mask(netlist));
@@ -195,7 +210,7 @@ impl<'a> SequentialLearner<'a> {
             // Restrict stem injections on sequential elements to the active
             // class: asserting a foreign-domain flip-flop as a stem would tie
             // its value to this class's time base.
-            let class_stems: Vec<NodeId> = stems
+            let mut class_stems: Vec<NodeId> = stems
                 .iter()
                 .copied()
                 .filter(|&s| {
@@ -208,6 +223,12 @@ impl<'a> SequentialLearner<'a> {
                     }
                 })
                 .collect();
+            let stem_cap = budget.remaining(budget_spent).min(usize::MAX as u64) as usize;
+            if class_stems.len() > stem_cap {
+                class_stems.truncate(stem_cap);
+                budget_exhausted = true;
+            }
+            budget_spent += class_stems.len() as u64;
 
             // Phase 1: single-node learning, 32 stems (64 lanes) per packed
             // forward pass, sharded across threads by batch boundary.
@@ -231,16 +252,36 @@ impl<'a> SequentialLearner<'a> {
             sim.set_tied(tied.values().map(|t| (t.node, t.value)).collect());
 
             if self.config.multiple_node {
+                // The multiple-node pass accepts a target cap (0 = unbounded);
+                // a finite budget tightens it to the remaining units. A zero
+                // remainder means the phase is skipped entirely — passing 0
+                // would mean "unbounded" to the pass.
+                let remaining = budget.remaining(budget_spent);
+                if remaining == 0 {
+                    budget_exhausted = true;
+                    continue;
+                }
+                let target_cap = if budget.is_unlimited() {
+                    self.config.max_multi_node_targets
+                } else {
+                    let r = remaining.min(usize::MAX as u64) as usize;
+                    if self.config.max_multi_node_targets == 0 {
+                        r
+                    } else {
+                        self.config.max_multi_node_targets.min(r)
+                    }
+                };
                 let multi = multi_node::run_sharded(
                     &mut sim,
                     &single.support,
                     &options,
                     mask.as_deref(),
-                    self.config.max_multi_node_targets,
+                    target_cap,
                     self.config.learn_cross_frame,
                     threads,
                 );
                 multi_targets += multi.targets_processed;
+                budget_spent += multi.targets_processed as u64;
                 for (imp, seq) in multi.implications {
                     db.add(imp, seq);
                 }
@@ -273,6 +314,8 @@ impl<'a> SequentialLearner<'a> {
                 .filter(|t| t.kind == TieKind::Sequential)
                 .count(),
             cross_frame: cross_frame.len(),
+            budget_spent,
+            budget_exhausted,
             cpu: start.elapsed(),
         };
 
@@ -497,6 +540,54 @@ mod tests {
         );
         assert!(result.stats.cpu.as_nanos() > 0);
         assert_eq!(result.stats.classes, 1);
+    }
+
+    #[test]
+    fn budget_truncates_learning_deterministically() {
+        use crate::budget::WorkBudget;
+        let n = exclusive_pair();
+        let full = SequentialLearner::new(&n, LearnConfig::default())
+            .learn()
+            .unwrap();
+        assert!(!full.stats.budget_exhausted);
+        assert_eq!(
+            full.stats.budget_spent,
+            full.stats.stems as u64 + full.stats.multi_node_targets as u64
+        );
+
+        // A budget of two units processes exactly two stems and nothing else.
+        let tight = LearnConfig::default().with_budget(WorkBudget::units(2));
+        let learner = SequentialLearner::new(&n, tight);
+        let limited = learner.learn().unwrap();
+        assert!(limited.stats.budget_exhausted);
+        assert_eq!(limited.stats.budget_spent, 2);
+        assert_eq!(limited.stats.multi_node_targets, 0);
+        assert!(limited.implications.len() <= full.implications.len());
+
+        // Bit-identical across thread counts: the truncation is computed
+        // before the sharded passes.
+        for threads in [2, 4] {
+            let sharded = learner.learn_with_threads(threads).unwrap();
+            assert_eq!(
+                limited.implications.iter().collect::<Vec<_>>(),
+                sharded.implications.iter().collect::<Vec<_>>()
+            );
+            assert_eq!(limited.stats.budget_spent, sharded.stats.budget_spent);
+            assert_eq!(
+                limited.stats.budget_exhausted,
+                sharded.stats.budget_exhausted
+            );
+        }
+
+        // A budget covering all the work changes nothing and reports no
+        // exhaustion.
+        let roomy = LearnConfig::default().with_budget(WorkBudget::units(1_000_000));
+        let ample = SequentialLearner::new(&n, roomy).learn().unwrap();
+        assert!(!ample.stats.budget_exhausted);
+        assert_eq!(
+            ample.implications.iter().collect::<Vec<_>>(),
+            full.implications.iter().collect::<Vec<_>>()
+        );
     }
 
     #[test]

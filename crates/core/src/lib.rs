@@ -59,6 +59,7 @@
 //! # }
 //! ```
 
+pub mod budget;
 pub mod classes;
 pub mod config;
 pub mod db;
@@ -68,6 +69,7 @@ pub mod relation;
 pub mod single_node;
 pub mod tie;
 
+pub use budget::WorkBudget;
 pub use config::LearnConfig;
 pub use db::ImplicationDb;
 pub use engine::{LearnResult, LearnStats, SequentialLearner};

@@ -1,0 +1,22 @@
+//! Fixture: the sanctioned form of the unwrap-in-lib rule — library code
+//! propagates typed errors, and `.unwrap()` inside the `#[cfg(test)]` module
+//! is exempt (a failed test may panic).
+
+pub fn parse_width(word: &str) -> Result<u32, String> {
+    // Library code propagates the error instead of unwrapping. `unwrap_or`
+    // never panics and is fine too.
+    word.parse::<u32>()
+        .map_err(|_| format!("bad width `{word}`"))
+        .map(|w| Some(w).unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses() {
+        // Test code may unwrap freely.
+        assert_eq!(parse_width("4").unwrap(), 4);
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: `.unwrap()` / `.expect()` in hardened library code
+//! (unwrap-in-lib). The file path matters — the rule scopes to the real
+//! workspace's hardened parser/engine files.
+
+pub fn classify(raw: Option<u32>) -> u32 {
+    // Both calls below violate unwrap-in-lib.
+    let first = raw.unwrap();
+    let second = Some(first).expect("always present");
+    second
+}

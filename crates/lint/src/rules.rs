@@ -71,12 +71,14 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         id: "env-read",
-        summary: "std::env reads only in sla-par and sla-bench",
+        summary: "std::env reads only in sla-par, sla-bench and the inject hook",
         rationale: "ambient configuration may pick a schedule, never a result; scheduling \
                     knobs go through sla_par::env_threads() and harness knobs live in the \
-                    bench crate. Allow-listed: crates/par/src/lib.rs (the documented accessor) \
-                    and crates/bench/. std::env::args (explicit CLI input) is not an \
-                    ambient read and stays allowed.",
+                    bench crate. Allow-listed: crates/par/src/lib.rs (the documented \
+                    accessor), crates/bench/, and crates/snapshot/src/inject.rs (the \
+                    SLA_FAULT_INJECT test hook, which only ever breaks a run on purpose). \
+                    std::env::args (explicit CLI input) is not an ambient read and stays \
+                    allowed.",
     },
     Rule {
         id: "thread-spawn",
@@ -100,6 +102,15 @@ pub const RULES: &[Rule] = &[
         rationale: "the workspace is currently unsafe-free; if that changes, each unsafe \
                     block must document its invariant on the line or directly above, so the \
                     audit surface stays enumerable.",
+    },
+    Rule {
+        id: "unwrap-in-lib",
+        summary: "no .unwrap()/.expect() in hardened parser/engine library code",
+        rationale: "the resilience contract promises that malformed netlists and interrupted \
+                    runs surface typed errors, never panics; the hardened files \
+                    (crates/netlist/src/parser.rs, crates/atpg/src/engine.rs) must propagate \
+                    Results instead of unwrapping. Test modules (`#[cfg(test)]` onward) are \
+                    exempt — a failed test may panic.",
     },
     Rule {
         id: "waiver-syntax",
@@ -199,8 +210,14 @@ fn allowed(rel: &str, list: &[&str]) -> bool {
 
 const DEFAULT_HASHER_ALLOW: &[&str] = &["crates/netlist/src/hash.rs"];
 const WALL_CLOCK_ALLOW: &[&str] = &["crates/netlist/src/wallclock.rs"];
-const ENV_READ_ALLOW: &[&str] = &["crates/par/src/lib.rs", "crates/bench/"];
+const ENV_READ_ALLOW: &[&str] = &[
+    "crates/par/src/lib.rs",
+    "crates/bench/",
+    "crates/snapshot/src/inject.rs",
+];
 const THREAD_SPAWN_ALLOW: &[&str] = &["crates/par/"];
+/// Files under the `unwrap-in-lib` no-panic contract.
+const UNWRAP_SCOPE: &[&str] = &["crates/netlist/src/parser.rs", "crates/atpg/src/engine.rs"];
 const FLOAT_SCOPE: &[&str] = &["crates/core/", "crates/sim/", "crates/atpg/", "crates/par/"];
 
 /// Runs every applicable rule over one file, appending findings (not yet
@@ -316,6 +333,31 @@ pub fn check_file(file: &SourceFile, findings: &mut Vec<Finding>) {
         }
     }
 
+    if UNWRAP_SCOPE.contains(&file.rel.as_str()) {
+        // Library code only: everything before the file's `#[cfg(test)]`
+        // module. A failed test asserting panics is fine; the lib path is not.
+        let test_line = test_module_line(&code);
+        for (i, tok) in code.iter().enumerate() {
+            if tok.line >= test_line {
+                break;
+            }
+            if (tok.is_ident("unwrap") || tok.is_ident("expect"))
+                && i > 0
+                && code[i - 1].is_punct('.')
+            {
+                findings.push(file.finding(
+                    tok.line,
+                    "unwrap-in-lib",
+                    format!(
+                        "`.{}(…)` in hardened library code; propagate a typed error \
+                         (NetlistError / SnapshotError) instead of panicking",
+                        tok.text
+                    ),
+                ));
+            }
+        }
+    }
+
     for tok in &code {
         if tok.is_ident("unsafe") && !has_safety_comment(file, tok.line) {
             findings.push(
@@ -328,6 +370,24 @@ pub fn check_file(file: &SourceFile, findings: &mut Vec<Finding>) {
             );
         }
     }
+}
+
+/// Line of the first `#[cfg(test)]` attribute in `code`, or `u32::MAX` when
+/// the file has no test module.
+fn test_module_line(code: &[&Token]) -> u32 {
+    let mut i = 0;
+    while i + 4 < code.len() {
+        if code[i].is_punct('#')
+            && code[i + 1].is_punct('[')
+            && code[i + 2].is_ident("cfg")
+            && code[i + 3].is_punct('(')
+            && code[i + 4].is_ident("test")
+        {
+            return code[i].line;
+        }
+        i += 1;
+    }
+    u32::MAX
 }
 
 /// `true` when a comment containing `SAFETY:` sits on `line` or up to three

@@ -47,6 +47,7 @@ fn violations_tree_expected_sites() {
         ("crates/atpg/src/env_read.rs", "env-read"),
         ("crates/sim/src/thread_spawn.rs", "thread-spawn"),
         ("crates/netlist/src/unsafe_block.rs", "unsafe-safety"),
+        ("crates/atpg/src/engine.rs", "unwrap-in-lib"),
         ("crates/core/src/waiver_missing_reason.rs", "waiver-syntax"),
         ("crates/core/src/waiver_unknown_rule.rs", "waiver-syntax"),
     ];

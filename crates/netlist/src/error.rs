@@ -20,10 +20,12 @@ pub enum NetlistError {
     CombinationalCycle(String),
     /// A clock name was referenced before it was declared.
     UnknownClock(String),
-    /// Parse error with line number and message.
+    /// Parse error with source position and message.
     Parse {
         /// 1-based line number in the source text.
         line: usize,
+        /// 1-based byte column of the offending token in the source line.
+        column: usize,
         /// Human-readable description.
         message: String,
     },
@@ -43,8 +45,12 @@ impl fmt::Display for NetlistError {
                 write!(f, "combinational cycle through node `{n}`")
             }
             NetlistError::UnknownClock(c) => write!(f, "unknown clock `{c}`"),
-            NetlistError::Parse { line, message } => {
-                write!(f, "parse error at line {line}: {message}")
+            NetlistError::Parse {
+                line,
+                column,
+                message,
+            } => {
+                write!(f, "parse error at line {line}, column {column}: {message}")
             }
             NetlistError::Invalid(m) => write!(f, "invalid netlist: {m}"),
         }
@@ -63,9 +69,11 @@ mod tests {
         assert_eq!(e.to_string(), "unknown node `g12`");
         let e = NetlistError::Parse {
             line: 7,
+            column: 3,
             message: "expected `=`".into(),
         };
         assert!(e.to_string().contains("line 7"));
+        assert!(e.to_string().contains("column 3"));
     }
 
     #[test]

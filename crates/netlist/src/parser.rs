@@ -37,15 +37,31 @@ struct SeqOverride {
     reset: Option<LineConstraint>,
 }
 
-fn parse_constraint(word: &str, line_no: usize) -> Result<LineConstraint> {
+/// Builds a [`NetlistError::Parse`] at a 1-based line/column position.
+fn parse_err(line: usize, column: usize, message: String) -> NetlistError {
+    NetlistError::Parse {
+        line,
+        column,
+        message,
+    }
+}
+
+/// 1-based column of byte offset `pos` inside the trimmed content of `raw`.
+fn content_column(raw: &str, pos: usize) -> usize {
+    let indent = raw.len() - raw.trim_start().len();
+    indent + pos + 1
+}
+
+fn parse_constraint(word: &str, line_no: usize, column: usize) -> Result<LineConstraint> {
     match word.to_ascii_lowercase().as_str() {
         "unconstrained" => Ok(LineConstraint::Unconstrained),
         "constrained" => Ok(LineConstraint::Constrained),
         "absent" | "none" => Ok(LineConstraint::Absent),
-        other => Err(NetlistError::Parse {
-            line: line_no,
-            message: format!("unknown set/reset constraint `{other}`"),
-        }),
+        other => Err(parse_err(
+            line_no,
+            column,
+            format!("unknown set/reset constraint `{other}`"),
+        )),
     }
 }
 
@@ -57,22 +73,26 @@ fn collect_pragmas(text: &str) -> Result<FastHashMap<String, SeqOverride>> {
         let Some(rest) = line.strip_prefix("#pragma") else {
             continue;
         };
+        // Errors inside a pragma point at the directive word.
+        let col = content_column(raw, line.len() - rest.trim_start().len());
         let words: Vec<&str> = rest.split_whitespace().collect();
         if words.len() < 2 {
-            return Err(NetlistError::Parse {
-                line: line_no,
-                message: "pragma needs a directive and a target".into(),
-            });
+            return Err(parse_err(
+                line_no,
+                col,
+                "pragma needs a directive and a target".into(),
+            ));
         }
         let target = words[1].to_string();
         let entry = map.entry(target).or_default();
         match words[0].to_ascii_lowercase().as_str() {
             "clock" => {
                 if words.len() < 3 {
-                    return Err(NetlistError::Parse {
-                        line: line_no,
-                        message: "pragma clock needs a clock name".into(),
-                    });
+                    return Err(parse_err(
+                        line_no,
+                        col,
+                        "pragma clock needs a clock name".into(),
+                    ));
                 }
                 entry.clock = Some(words[2].to_string());
                 if let Some(edge) = words.get(3) {
@@ -80,10 +100,11 @@ fn collect_pragmas(text: &str) -> Result<FastHashMap<String, SeqOverride>> {
                         "rising" | "posedge" | "high" => ClockEdge::Rising,
                         "falling" | "negedge" | "low" => ClockEdge::Falling,
                         other => {
-                            return Err(NetlistError::Parse {
-                                line: line_no,
-                                message: format!("unknown clock edge `{other}`"),
-                            })
+                            return Err(parse_err(
+                                line_no,
+                                col,
+                                format!("unknown clock edge `{other}`"),
+                            ))
                         }
                     });
                 }
@@ -91,36 +112,34 @@ fn collect_pragmas(text: &str) -> Result<FastHashMap<String, SeqOverride>> {
             "latch" => {
                 entry.kind = Some(SeqKind::Latch);
                 if let Some(p) = words.get(2) {
-                    let ports: u8 = p.parse().map_err(|_| NetlistError::Parse {
-                        line: line_no,
-                        message: format!("bad port count `{p}`"),
-                    })?;
+                    let ports: u8 = p
+                        .parse()
+                        .map_err(|_| parse_err(line_no, col, format!("bad port count `{p}`")))?;
                     entry.ports = Some(ports.max(1));
                 }
             }
             "set" => {
                 if words.len() < 3 {
-                    return Err(NetlistError::Parse {
-                        line: line_no,
-                        message: "pragma set needs a constraint".into(),
-                    });
+                    return Err(parse_err(
+                        line_no,
+                        col,
+                        "pragma set needs a constraint".into(),
+                    ));
                 }
-                entry.set = Some(parse_constraint(words[2], line_no)?);
+                entry.set = Some(parse_constraint(words[2], line_no, col)?);
             }
             "reset" => {
                 if words.len() < 3 {
-                    return Err(NetlistError::Parse {
-                        line: line_no,
-                        message: "pragma reset needs a constraint".into(),
-                    });
+                    return Err(parse_err(
+                        line_no,
+                        col,
+                        "pragma reset needs a constraint".into(),
+                    ));
                 }
-                entry.reset = Some(parse_constraint(words[2], line_no)?);
+                entry.reset = Some(parse_constraint(words[2], line_no, col)?);
             }
             other => {
-                return Err(NetlistError::Parse {
-                    line: line_no,
-                    message: format!("unknown pragma `{other}`"),
-                });
+                return Err(parse_err(line_no, col, format!("unknown pragma `{other}`")));
             }
         }
     }
@@ -131,8 +150,10 @@ fn collect_pragmas(text: &str) -> Result<FastHashMap<String, SeqOverride>> {
 ///
 /// # Errors
 ///
-/// Returns [`NetlistError::Parse`] for malformed lines and any error from
-/// [`NetlistBuilder::build`] (unknown names, bad arity, validation failures).
+/// Returns [`NetlistError::Parse`] — with a 1-based line and byte column —
+/// for malformed lines, and any error from [`NetlistBuilder::build`]
+/// (unknown names, bad arity, validation failures). Malformed input never
+/// panics: arbitrary bytes produce a typed error at worst.
 ///
 /// # Example
 ///
@@ -174,25 +195,40 @@ pub fn parse_bench(name: &str, text: &str) -> Result<Netlist> {
         }
         // Assignment: name = FUNC(args)
         let Some(eq) = line.find('=') else {
-            return Err(NetlistError::Parse {
-                line: line_no,
-                message: format!("expected `=` in `{line}`"),
-            });
+            return Err(parse_err(
+                line_no,
+                content_column(raw, 0),
+                format!("expected `=` in `{line}`"),
+            ));
         };
         let lhs = line[..eq].trim();
-        let rhs = line[eq + 1..].trim();
+        let after_eq = &line[eq + 1..];
+        let rhs = after_eq.trim();
+        // Offset of the trimmed right-hand side within the trimmed line.
+        let rhs_at = eq + 1 + (after_eq.len() - after_eq.trim_start().len());
         let Some(open) = rhs.find('(') else {
-            return Err(NetlistError::Parse {
-                line: line_no,
-                message: format!("expected `(` in `{rhs}`"),
-            });
+            return Err(parse_err(
+                line_no,
+                content_column(raw, rhs_at),
+                format!("expected `(` in `{rhs}`"),
+            ));
         };
         let Some(close) = rhs.rfind(')') else {
-            return Err(NetlistError::Parse {
-                line: line_no,
-                message: format!("expected `)` in `{rhs}`"),
-            });
+            return Err(parse_err(
+                line_no,
+                content_column(raw, rhs_at + open),
+                format!("expected `)` in `{rhs}`"),
+            ));
         };
+        if close < open {
+            // `g = AND)a,b(` — slicing `open + 1..close` would be a reversed
+            // range; reject instead of panicking.
+            return Err(parse_err(
+                line_no,
+                content_column(raw, rhs_at + close),
+                format!("mismatched parentheses in `{rhs}`"),
+            ));
+        }
         let func = rhs[..open].trim();
         let args_str = &rhs[open + 1..close];
         let args: Vec<&str> = args_str
@@ -203,10 +239,11 @@ pub fn parse_bench(name: &str, text: &str) -> Result<Netlist> {
 
         if func.eq_ignore_ascii_case("DFF") || func.eq_ignore_ascii_case("LATCH") {
             if args.len() != 1 {
-                return Err(NetlistError::Parse {
-                    line: line_no,
-                    message: format!("sequential element `{lhs}` needs exactly one data input"),
-                });
+                return Err(parse_err(
+                    line_no,
+                    content_column(raw, rhs_at),
+                    format!("sequential element `{lhs}` needs exactly one data input"),
+                ));
             }
             let mut info = SeqInfo::simple_ff();
             if func.eq_ignore_ascii_case("LATCH") {
@@ -236,10 +273,11 @@ pub fn parse_bench(name: &str, text: &str) -> Result<Netlist> {
         } else if let Some(gate) = GateType::from_bench_name(func) {
             b.gate(lhs, gate, &args)?;
         } else {
-            return Err(NetlistError::Parse {
-                line: line_no,
-                message: format!("unknown gate function `{func}`"),
-            });
+            return Err(parse_err(
+                line_no,
+                content_column(raw, rhs_at),
+                format!("unknown gate function `{func}`"),
+            ));
         }
     }
 
@@ -338,7 +376,46 @@ q = LATCH(a)
         let src = "INPUT(a)\ngarbage line\n";
         let err = parse_bench("bad", src).unwrap_err();
         match err {
-            NetlistError::Parse { line, .. } => assert_eq!(line, 2),
+            NetlistError::Parse { line, column, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(column, 1);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_columns() {
+        // Missing `(`: the column points at the right-hand side.
+        let err = parse_bench("bad", "INPUT(a)\n  g = AND a, b\n").unwrap_err();
+        match err {
+            NetlistError::Parse { line, column, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(column, 7); // the `A` of `AND` in `  g = AND a, b`
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Indentation counts: a shifted bad line shifts the column.
+        let err = parse_bench("bad", "    garbage\n").unwrap_err();
+        match err {
+            NetlistError::Parse { line, column, .. } => {
+                assert_eq!(line, 1);
+                assert_eq!(column, 5);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reversed_parentheses_are_an_error_not_a_panic() {
+        // `close < open` used to slice a reversed range and panic.
+        let src = "INPUT(a)\nINPUT(b)\ng = AND)a,b(\n";
+        let err = parse_bench("bad", src).unwrap_err();
+        match err {
+            NetlistError::Parse { line, message, .. } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("mismatched parentheses"), "{message}");
+            }
             other => panic!("unexpected error {other:?}"),
         }
     }

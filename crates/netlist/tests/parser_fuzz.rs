@@ -1,0 +1,111 @@
+//! Robustness fuzzing of the `.bench` parser.
+//!
+//! The resilience contract for the parser is: **arbitrary bytes never
+//! panic** — malformed input yields a typed [`NetlistError::Parse`] with a
+//! line/column position — and **accepted inputs are round-trip stable**:
+//! `write_bench(parse(x))` parses back to an equivalent netlist, and a second
+//! write is a fixed point.
+//!
+//! The fuzzer mutates a known-good netlist with seeded byte edits (flips,
+//! insertions biased toward syntax bytes, deletions, truncation), so most
+//! cases stay near the grammar where the interesting breakage lives.
+
+use proptest::prelude::*;
+use sla_netlist::parser::parse_bench;
+use sla_netlist::writer::write_bench;
+
+const BASE: &str = "\
+# fuzz base circuit
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+OUTPUT(G17)
+#pragma clock G7 clk_b falling
+#pragma latch G7 2
+#pragma set G7 unconstrained
+G5 = DFF(G10)
+G7 = LATCH(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G5)
+G16 = OR(G2, G8)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G16)
+G13 = NAND(G1, G8)
+";
+
+/// Bytes the mutator inserts/overwrites with, biased toward the grammar's
+/// structural characters so mutations hit parser decision points.
+const POOL: &[u8] = b"()=,# \nABDFINORTUX019abgq\t\xff";
+
+/// Applies `edits` seeded mutations to `bytes`.
+fn mutate(bytes: &mut Vec<u8>, rng: &mut TestRng, edits: usize) {
+    for _ in 0..edits {
+        let pick = |rng: &mut TestRng| POOL[(rng.next_u64() as usize) % POOL.len()];
+        match rng.next_u64() % 4 {
+            0 if !bytes.is_empty() => {
+                // Overwrite one byte.
+                let idx = (rng.next_u64() as usize) % bytes.len();
+                bytes[idx] = pick(rng);
+            }
+            1 => {
+                // Insert one byte.
+                let idx = (rng.next_u64() as usize) % (bytes.len() + 1);
+                let b = pick(rng);
+                bytes.insert(idx, b);
+            }
+            2 if !bytes.is_empty() => {
+                // Delete one byte.
+                let idx = (rng.next_u64() as usize) % bytes.len();
+                bytes.remove(idx);
+            }
+            3 if bytes.len() > 1 => {
+                // Truncate (drop a short suffix so the text stays non-trivial).
+                let keep = bytes.len() - 1 - (rng.next_u64() as usize) % (bytes.len() / 2 + 1);
+                bytes.truncate(keep.max(1));
+            }
+            _ => {}
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Mutated `.bench` bytes must parse to `Ok` or a typed error — any
+    /// panic fails this test — and every accepted input must survive a
+    /// write → parse → write round trip.
+    #[test]
+    fn mutated_bench_text_never_panics_and_round_trips(
+        seed in 0u64..100_000,
+        edits in 1usize..24,
+    ) {
+        let mut rng = TestRng::new(seed);
+        let mut bytes = BASE.as_bytes().to_vec();
+        mutate(&mut bytes, &mut rng, edits);
+        let text = String::from_utf8_lossy(&bytes);
+        // The no-panic claim: this call returning (Ok or Err) IS the check.
+        if let Ok(parsed) = parse_bench("fuzz", &text) {
+            let written = write_bench(&parsed);
+            let reparsed = parse_bench("fuzz", &written)
+                .expect("writer output of an accepted netlist must parse");
+            prop_assert_eq!(parsed.inputs().len(), reparsed.inputs().len());
+            prop_assert_eq!(parsed.outputs().len(), reparsed.outputs().len());
+            prop_assert_eq!(parsed.num_gates(), reparsed.num_gates());
+            prop_assert_eq!(parsed.num_sequential(), reparsed.num_sequential());
+            // Fixed point: a second write emits byte-identical text.
+            prop_assert_eq!(written, write_bench(&reparsed));
+        }
+    }
+
+    /// Pure-noise inputs (no valid base) also never panic.
+    #[test]
+    fn random_byte_soup_never_panics(seed in 0u64..100_000, len in 0usize..160) {
+        let mut rng = TestRng::new(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let bytes: Vec<u8> = (0..len)
+            .map(|_| POOL[(rng.next_u64() as usize) % POOL.len()])
+            .collect();
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse_bench("soup", &text);
+    }
+}

@@ -144,6 +144,59 @@ where
     })
 }
 
+/// The outcome of a quarantined job: its value, or the panic that killed it.
+///
+/// Pipelines that must survive a failing speculative job (rather than abort
+/// the whole run) wrap the per-job work in [`quarantine`], making panics an
+/// ordinary data value that flows through the usual ordered merge. The merge
+/// then records the failure against exactly the job that caused it — fault
+/// order, and therefore the determinism contract, is preserved.
+#[derive(Debug)]
+pub enum JobOutcome<T> {
+    /// The job completed normally.
+    Done(T),
+    /// The job panicked; the payload is the panic message (a fallback string
+    /// when the payload was not a `String`/`&str`).
+    Panicked(String),
+}
+
+impl<T> JobOutcome<T> {
+    /// Returns `true` for [`JobOutcome::Panicked`].
+    pub fn is_panicked(&self) -> bool {
+        matches!(self, JobOutcome::Panicked(_))
+    }
+}
+
+/// Runs `f`, catching any panic and turning it into data.
+///
+/// This is the quarantine primitive of the resilience layer: a panicking
+/// speculative job poisons only its own result, not the worker thread or the
+/// run. The panic payload is downcast to a message; non-string payloads get a
+/// fixed fallback so the outcome stays deterministic.
+///
+/// The `AssertUnwindSafe` is sound for the workspace's use because quarantined
+/// jobs own their working state (per-job generators are reset per fault) and
+/// the merged result of a panicked job is discarded wholesale.
+pub fn quarantine<T>(f: impl FnOnce() -> T) -> JobOutcome<T> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(v) => JobOutcome::Done(v),
+        // `&*payload`, not `&payload`: the Box itself is `Any`, and coercing
+        // it instead of its contents would make every downcast miss.
+        Err(payload) => JobOutcome::Panicked(panic_message(&*payload)),
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Shared job queue of a [`with_pool`] scope.
 struct JobQueue<Job> {
     queue: Mutex<(VecDeque<Job>, bool)>,
@@ -437,6 +490,81 @@ mod tests {
             )
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn quarantine_returns_the_value_on_success() {
+        match quarantine(|| 41 + 1) {
+            JobOutcome::Done(v) => assert_eq!(v, 42),
+            JobOutcome::Panicked(msg) => panic!("unexpected quarantine failure: {msg}"),
+        }
+    }
+
+    #[test]
+    fn quarantine_captures_panic_messages() {
+        // Silence the default hook for the intentional panics.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let literal = quarantine::<()>(|| panic!("plain literal"));
+        let formatted = quarantine::<()>(|| panic!("job {} failed", 7));
+        let nonstring = quarantine::<()>(|| std::panic::panic_any(13u32));
+        std::panic::set_hook(hook);
+        assert!(literal.is_panicked());
+        match literal {
+            JobOutcome::Panicked(msg) => assert_eq!(msg, "plain literal"),
+            JobOutcome::Done(()) => panic!("panic not captured"),
+        }
+        match formatted {
+            JobOutcome::Panicked(msg) => assert_eq!(msg, "job 7 failed"),
+            JobOutcome::Done(()) => panic!("panic not captured"),
+        }
+        match nonstring {
+            JobOutcome::Panicked(msg) => assert_eq!(msg, "non-string panic payload"),
+            JobOutcome::Done(()) => panic!("panic not captured"),
+        }
+    }
+
+    #[test]
+    fn quarantined_pool_jobs_keep_workers_alive() {
+        // With quarantine inside `work`, a failing job becomes data and the
+        // pool completes every other job — the engine's panic-quarantine path.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let outcomes: Vec<(usize, JobOutcome<usize>)> = with_pool(
+            3,
+            |_| (),
+            |(), job: usize| {
+                (
+                    job,
+                    quarantine(move || {
+                        assert!(job != 2, "boom on job {job}");
+                        job * 10
+                    }),
+                )
+            },
+            |pool| {
+                for j in 0..6 {
+                    pool.submit(j);
+                }
+                let mut got: Vec<_> = (0..6).map(|_| pool.recv()).collect();
+                got.sort_by_key(|(i, _)| *i);
+                got
+            },
+        );
+        std::panic::set_hook(hook);
+        assert_eq!(outcomes.len(), 6);
+        for (i, outcome) in &outcomes {
+            match outcome {
+                JobOutcome::Done(v) => {
+                    assert_ne!(*i, 2);
+                    assert_eq!(*v, i * 10);
+                }
+                JobOutcome::Panicked(msg) => {
+                    assert_eq!(*i, 2);
+                    assert!(msg.contains("boom on job 2"), "message was {msg:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -64,6 +64,15 @@ impl<'a> FaultSimulator<'a> {
         })
     }
 
+    /// Builds a fault simulator from an existing levelization, infallibly.
+    ///
+    /// Callers that already hold a [`Levelization`] of the same netlist (the
+    /// ATPG engine validates one at construction) use this to avoid a
+    /// re-levelize and the impossible error path.
+    pub fn with_levels(netlist: &'a Netlist, levels: Levelization) -> Self {
+        FaultSimulator { netlist, levels }
+    }
+
     /// Simulates the fault-free machine and returns per-frame values of all
     /// nodes (initial state all-X).
     pub fn good_trace(&self, sequence: &TestSequence) -> Vec<Vec<Logic3>> {

@@ -1,0 +1,204 @@
+//! Seeded, deterministic fault injection for resilience testing.
+//!
+//! An [`InjectPlan`] is a `(mode, seed)` pair. The seed drives a SplitMix64
+//! stream, so every injection point — which fault panics, which snapshot bit
+//! flips, where the budget runs out — is a pure function of the plan and the
+//! workload size. The same plan always breaks the run in the same place,
+//! which is what lets CI assert the documented degradation instead of just
+//! "something went wrong".
+//!
+//! Plans are parsed from `mode:seed` strings (`panic:3`, `corrupt:7`,
+//! `budget:5`), either from a CLI argument or from the `SLA_FAULT_INJECT`
+//! environment hook via [`plan_from_env`].
+
+use std::fmt;
+
+/// What the harness breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectMode {
+    /// Panic inside one speculative fault search; the quarantine must
+    /// contain it to that fault.
+    WorkerPanic,
+    /// Flip one bit of an encoded snapshot; decode must fail typed and
+    /// resume must fall back to a fresh run.
+    SnapshotCorrupt,
+    /// Exhaust the work budget mid-run; the classified prefix must be
+    /// bit-identical at every thread count.
+    BudgetExhaust,
+}
+
+impl fmt::Display for InjectMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            InjectMode::WorkerPanic => "panic",
+            InjectMode::SnapshotCorrupt => "corrupt",
+            InjectMode::BudgetExhaust => "budget",
+        })
+    }
+}
+
+/// A seeded injection: one failure mode at seed-chosen points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectPlan {
+    /// Failure mode to inject.
+    pub mode: InjectMode,
+    /// Seed of the SplitMix64 stream choosing the injection points.
+    pub seed: u64,
+}
+
+impl InjectPlan {
+    /// Parses a `mode:seed` spec (`panic:3`, `corrupt:7`, `budget:5`).
+    ///
+    /// # Errors
+    ///
+    /// A one-line human-readable diagnostic for unknown modes or
+    /// non-numeric seeds.
+    pub fn parse(spec: &str) -> Result<InjectPlan, String> {
+        let (mode, seed) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("bad inject spec `{spec}`: expected `mode:seed`"))?;
+        let mode = match mode {
+            "panic" => InjectMode::WorkerPanic,
+            "corrupt" => InjectMode::SnapshotCorrupt,
+            "budget" => InjectMode::BudgetExhaust,
+            other => {
+                return Err(format!(
+                    "unknown inject mode `{other}` (expected panic, corrupt or budget)"
+                ))
+            }
+        };
+        let seed = seed
+            .parse::<u64>()
+            .map_err(|_| format!("bad inject seed `{seed}`: expected an unsigned integer"))?;
+        Ok(InjectPlan { mode, seed })
+    }
+
+    /// Deterministic point stream for this plan. The n-th call with the same
+    /// plan always returns the same value.
+    pub fn points(&self) -> InjectRng {
+        InjectRng {
+            state: self.seed ^ 0x6a09_e667_f3bc_c909,
+        }
+    }
+
+    /// Convenience: the first point of the stream reduced into `[0, bound)`.
+    /// `bound` must be nonzero.
+    pub fn pick(&self, bound: usize) -> usize {
+        (self.points().next_u64() as usize) % bound.max(1)
+    }
+}
+
+/// Reads an injection plan from the `SLA_FAULT_INJECT` environment hook.
+/// Unset means no injection; a malformed value is an error, not a silent
+/// no-op, so CI typos cannot fake a passing run.
+pub fn plan_from_env() -> Result<Option<InjectPlan>, String> {
+    match std::env::var("SLA_FAULT_INJECT") {
+        Ok(spec) => InjectPlan::parse(&spec).map(Some),
+        Err(_) => Ok(None),
+    }
+}
+
+/// SplitMix64 stream of injection points — tiny, seedable, and identical on
+/// every platform.
+#[derive(Debug, Clone)]
+pub struct InjectRng {
+    state: u64,
+}
+
+impl InjectRng {
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Next value reduced into `[0, bound)`. `bound` must be nonzero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() as usize) % bound.max(1)
+    }
+}
+
+/// Flips one seed-chosen bit of `bytes` (no-op on an empty slice). Used to
+/// corrupt encoded snapshots in a reproducible way.
+pub fn corrupt(bytes: &mut [u8], seed: u64) {
+    if bytes.is_empty() {
+        return;
+    }
+    let mut rng = InjectPlan {
+        mode: InjectMode::SnapshotCorrupt,
+        seed,
+    }
+    .points();
+    let bit = rng.below(bytes.len() * 8);
+    bytes[bit / 8] ^= 1 << (bit % 8);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_parse_and_reject() {
+        assert_eq!(
+            InjectPlan::parse("panic:3").unwrap(),
+            InjectPlan {
+                mode: InjectMode::WorkerPanic,
+                seed: 3
+            }
+        );
+        assert_eq!(
+            InjectPlan::parse("corrupt:7").unwrap().mode,
+            InjectMode::SnapshotCorrupt
+        );
+        assert_eq!(
+            InjectPlan::parse("budget:5").unwrap().mode,
+            InjectMode::BudgetExhaust
+        );
+        assert!(InjectPlan::parse("panic")
+            .unwrap_err()
+            .contains("mode:seed"));
+        assert!(InjectPlan::parse("fire:1").unwrap_err().contains("unknown"));
+        assert!(InjectPlan::parse("panic:x").unwrap_err().contains("seed"));
+    }
+
+    #[test]
+    fn point_streams_are_deterministic() {
+        let plan = InjectPlan::parse("panic:42").unwrap();
+        let a: Vec<u64> = {
+            let mut r = plan.points();
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = plan.points();
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_eq!(plan.pick(17), plan.pick(17));
+        let other = InjectPlan::parse("panic:43").unwrap();
+        assert_ne!(
+            plan.points().next_u64(),
+            other.points().next_u64(),
+            "different seeds must give different streams"
+        );
+    }
+
+    #[test]
+    fn corrupt_flips_exactly_one_bit() {
+        let clean = vec![0u8; 64];
+        for seed in 0..32 {
+            let mut dirty = clean.clone();
+            corrupt(&mut dirty, seed);
+            let flipped: u32 = clean
+                .iter()
+                .zip(&dirty)
+                .map(|(a, b)| (a ^ b).count_ones())
+                .sum();
+            assert_eq!(flipped, 1, "seed {seed} flipped {flipped} bits");
+        }
+        let mut empty: [u8; 0] = [];
+        corrupt(&mut empty, 1); // must not panic
+    }
+}

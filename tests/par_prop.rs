@@ -11,7 +11,9 @@
 //! matrix covers the environment-variable path end to end.
 
 use proptest::prelude::*;
-use seqlearn::atpg::{AtpgConfig, AtpgEngine, LearnedData, LearningMode};
+use seqlearn::atpg::{
+    AbortReason, AtpgConfig, AtpgEngine, FaultStatus, LearnedData, LearningMode, WorkBudget,
+};
 use seqlearn::circuits::{synthesize, SynthConfig};
 use seqlearn::learn::{LearnConfig, SequentialLearner};
 use seqlearn::netlist::Netlist;
@@ -131,6 +133,61 @@ proptest! {
             prop_assert_eq!(reference.stats.aborted, run.stats.aborted);
             prop_assert_eq!(reference.stats.untestable_from_ties, run.stats.untestable_from_ties);
             prop_assert_eq!(reference.stats.test_vectors, run.stats.test_vectors);
+        }
+    }
+
+    /// Deterministic work budgets: a budget-limited run stops at the same
+    /// point — same classified prefix, same `Aborted(Budget)` tail, same
+    /// spent units — for every thread count, and every verdict it does hand
+    /// out agrees with the unlimited run.
+    #[test]
+    fn budget_limited_runs_are_bit_identical_across_threads(
+        seed in 0u64..200,
+        flip_flops in 2usize..7,
+        gates in 10usize..40,
+        budget_eighths in 1u64..8,
+    ) {
+        let netlist = small_synth(seed, flip_flops, gates);
+        let base = AtpgConfig::with_backtrack_limit(20);
+        let mut faults = collapsed_fault_list(&netlist);
+        faults.truncate(40);
+        let unlimited = AtpgEngine::new(&netlist, base).unwrap().run_with_threads(&faults, 1);
+        // Scale the budget to the workload so the cut lands mid-run instead
+        // of degenerating to "everything" or "nothing".
+        let units = (unlimited.stats.budget_spent * budget_eighths / 8).max(1);
+        let engine = AtpgEngine::new(
+            &netlist,
+            AtpgConfig { budget: WorkBudget::units(units), ..base },
+        )
+        .unwrap();
+        let reference = engine.run_with_threads(&faults, 1);
+        // The budget is a stopping criterion checked before each fault, so
+        // the last searched fault may overshoot the limit — but an aborted
+        // tail must mean the limit was actually reached.
+        let exhausted = reference
+            .status
+            .contains(&FaultStatus::Aborted(AbortReason::Budget));
+        if exhausted {
+            prop_assert!(reference.stats.budget_spent >= units,
+                "aborted tail with only {} of {} units spent (seed {})",
+                reference.stats.budget_spent, units, seed);
+        }
+        for (i, s) in reference.status.iter().enumerate() {
+            if *s != FaultStatus::Aborted(AbortReason::Budget) {
+                prop_assert_eq!(*s, unlimited.status[i],
+                    "classified verdict {} diverged from the unlimited run (seed {})", i, seed);
+            }
+        }
+        for threads in THREAD_COUNTS {
+            let run = engine.run_with_threads(&faults, threads);
+            prop_assert_eq!(&reference.status, &run.status,
+                "budget-limited statuses diverged at {} threads (seed {})", threads, seed);
+            prop_assert_eq!(&reference.sequences, &run.sequences,
+                "budget-limited sequences diverged at {} threads (seed {})", threads, seed);
+            prop_assert_eq!(reference.stats.budget_spent, run.stats.budget_spent,
+                "spent budget diverged at {} threads (seed {})", threads, seed);
+            prop_assert_eq!(reference.stats.backtracks, run.stats.backtracks);
+            prop_assert_eq!(reference.stats.decisions, run.stats.decisions);
         }
     }
 }
