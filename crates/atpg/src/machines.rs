@@ -23,7 +23,7 @@
 //! the persistent set to under random decide/flip/backtrack/grow scripts.
 
 use sla_netlist::levelize::Levelization;
-use sla_netlist::{Netlist, NodeId};
+use sla_netlist::{Netlist, NetlistCsr, NodeId};
 use sla_sim::{EventSim, Fault, FaultSite, Logic3};
 
 /// Rank sentinel for nodes outside the fault cone (or non-gates).
@@ -55,6 +55,9 @@ pub struct MachineMark {
 #[derive(Debug, Clone)]
 pub struct SearchMachines<'a> {
     netlist: &'a Netlist,
+    /// Raw arena view; frontier maintenance walks fanouts/fanins off the CSR
+    /// arrays directly.
+    csr: NetlistCsr<'a>,
     fault: Fault,
     good: EventSim<'a>,
     faulty: EventSim<'a>,
@@ -100,12 +103,13 @@ impl<'a> SearchMachines<'a> {
 
         // Static fanout cone of the fault site. For an input-pin fault the
         // difference first appears at the faulted gate's output.
+        let csr = netlist.csr();
         let mut in_cone = vec![false; netlist.num_nodes()];
         let start = fault.site.node();
         in_cone[start.index()] = true;
         let mut stack = vec![start];
         while let Some(x) = stack.pop() {
-            for &fo in netlist.fanouts(x) {
+            for &fo in csr.fanouts(x) {
                 if !in_cone[fo.index()] {
                     in_cone[fo.index()] = true;
                     stack.push(fo);
@@ -136,14 +140,16 @@ impl<'a> SearchMachines<'a> {
         for (idx, flag) in fx_relevant.iter_mut().enumerate() {
             let id = NodeId(idx as u32);
             let own = cone_rank[idx] != NOT_IN_CONE || is_cone_output[idx];
-            let feeds_cone = netlist.fanouts(id).iter().any(|&fo| {
-                cone_rank[fo.index()] != NOT_IN_CONE && !netlist.node(fo).is_sequential()
-            });
+            let feeds_cone = csr
+                .fanouts(id)
+                .iter()
+                .any(|&fo| cone_rank[fo.index()] != NOT_IN_CONE && !csr.kind(fo).is_sequential());
             *flag = u8::from(own || feeds_cone);
         }
         let slots = window * netlist.num_nodes();
         let mut machines = SearchMachines {
             netlist,
+            csr,
             fault,
             good,
             faulty,
@@ -263,8 +269,7 @@ impl<'a> SearchMachines<'a> {
     /// its healthy driver is at the opposite of the stuck value.
     #[inline]
     pub fn has_d_input(&self, t: usize, id: NodeId) -> bool {
-        let node = self.netlist.node(id);
-        node.fanins.iter().enumerate().any(|(pin, &f)| {
+        self.csr.fanins(id).iter().enumerate().any(|(pin, &f)| {
             if self.fault.site == (FaultSite::Input { gate: id, pin }) {
                 matches!(self.good.value(t, f).to_bool(), Some(b) if b != self.fault.stuck_at)
             } else {
@@ -339,8 +344,8 @@ impl<'a> SearchMachines<'a> {
     /// same-frame gate fanouts (flip-flop fanouts surface as their own change
     /// events in the next frame).
     fn update_fault_effects(&mut self) {
-        let netlist = self.netlist;
-        let num_nodes = netlist.num_nodes();
+        let csr = self.csr;
+        let num_nodes = self.netlist.num_nodes();
         debug_assert!(self.dirty.is_empty());
         for source in 0..2 {
             let changed = if source == 0 {
@@ -360,8 +365,8 @@ impl<'a> SearchMachines<'a> {
                     self.dirty_flag[slot as usize] = true;
                     self.dirty.push(slot);
                 }
-                for &fo in netlist.fanouts(NodeId(node as u32)) {
-                    if netlist.node(fo).is_sequential() {
+                for &fo in csr.fanouts(NodeId(node as u32)) {
+                    if csr.kind(fo).is_sequential() {
                         continue; // surfaces as its own event in frame + 1
                     }
                     if self.cone_rank[fo.index()] == NOT_IN_CONE {
@@ -477,11 +482,7 @@ mod tests {
         let levels = levelize(&n).unwrap();
         let g = n.require("g").unwrap();
         let m = SearchMachines::new(&n, &levels, 1, Fault::output(g, true));
-        let names: Vec<&str> = m
-            .cone_gates()
-            .iter()
-            .map(|&id| n.node(id).name.as_str())
-            .collect();
+        let names: Vec<&str> = m.cone_gates().iter().map(|&id| n.node(id).name).collect();
         assert_eq!(names, vec!["g", "h"], "k is outside the fault cone");
         assert_eq!(m.cone_outputs.len(), 1);
     }

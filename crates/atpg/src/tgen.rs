@@ -389,7 +389,7 @@ impl<'a> TestGenerator<'a> {
                 continue;
             };
             let noncontrolling = gate.controlling_value().map(|c| !c).unwrap_or(false);
-            for &f in &node.fanins {
+            for &f in node.fanins {
                 if good.value(t, f) == Logic3::X {
                     return Some((t, f, noncontrolling));
                 }

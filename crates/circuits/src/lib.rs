@@ -18,13 +18,16 @@
 //!   state behind mixed-depth flip-flop chains: the workload on which
 //!   learned implications strictly prune the ATPG search (Table 5 regime),
 //! * [`profiles`] — named circuit profiles mirroring the rows of Table 3 /
-//!   Table 5, mapped onto the generators with a scale factor.
+//!   Table 5, mapped onto the generators with a scale factor,
+//! * [`scale`] — a layered generator whose logic depth is fixed while the
+//!   area scales to millions of gates (the ingest / large-smoke workload).
 
 pub mod figures;
 pub mod industrial;
 pub mod profiles;
 pub mod retimed;
 pub mod s27;
+pub mod scale;
 pub mod synth;
 pub mod table5;
 
@@ -36,5 +39,6 @@ pub use profiles::{
 };
 pub use retimed::{retimed_circuit, RetimedConfig};
 pub use s27::s27;
+pub use scale::{scale_circuit, ScaleConfig};
 pub use synth::{synthesize, SynthConfig};
 pub use table5::{table5_circuit, Table5Config};

@@ -1,0 +1,240 @@
+//! Scalable layered circuit generator for multi-million-gate workloads.
+//!
+//! [`synthesize`](crate::synthesize) biases fanins toward recent gates, which
+//! produces logic whose depth grows with gate count — realistic at table-5
+//! scale, pathological at a million gates (the event simulator's level
+//! buckets and the ATPG window both scale with depth). This generator instead
+//! builds a *layered* DAG: gates are arranged in `layers` rows of
+//! `layer_width` gates, a gate in layer `k` reads only signals of layer
+//! `k - 1` (layer 0 reads primary inputs and flip-flop outputs), and the
+//! flip-flops capture the last layer. Logic depth is exactly `layers`
+//! regardless of width, so scaling to any gate count is a matter of widening
+//! the rows — the shape of industrial designs, where depth grows far slower
+//! than area.
+//!
+//! Generation is a single linear pass with a splitmix-style inline generator
+//! (no allocation beyond the names), deterministic in the seed.
+
+use sla_netlist::{GateType, Netlist, NetlistBuilder};
+
+/// Parameters of the layered scale generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScaleConfig {
+    /// Circuit name.
+    pub name: String,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of flip-flops (state feeding layer 0, capturing the last layer).
+    pub flip_flops: usize,
+    /// Number of combinational layers (= exact logic depth).
+    pub layers: usize,
+    /// Gates per layer; total gates = `layers * layer_width`.
+    pub layer_width: usize,
+    /// Number of primary outputs, observing the last layer.
+    pub outputs: usize,
+    /// Seed of the deterministic generator.
+    pub seed: u64,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            name: "scale".to_string(),
+            inputs: 64,
+            flip_flops: 128,
+            layers: 8,
+            layer_width: 256,
+            outputs: 32,
+            seed: 1,
+        }
+    }
+}
+
+impl ScaleConfig {
+    /// Total combinational gate count of the configuration.
+    pub fn gates(&self) -> usize {
+        self.layers * self.layer_width
+    }
+
+    /// A configuration with ~`gates` gates at depth `layers`, sized like the
+    /// committed workloads (inputs/outputs/state scale with the square root
+    /// of area, as in placed designs).
+    pub fn sized(name: &str, gates: usize, layers: usize, seed: u64) -> Self {
+        let layers = layers.max(1);
+        let layer_width = gates.div_ceil(layers).max(1);
+        let side = (gates as f64).sqrt() as usize;
+        ScaleConfig {
+            name: name.to_string(),
+            inputs: (side / 2).clamp(4, 4096),
+            flip_flops: side.clamp(4, 8192),
+            layers,
+            layer_width,
+            outputs: (side / 4).clamp(2, 2048),
+            seed,
+        }
+    }
+
+    /// The ≥1M-gate CI smoke workload: 16 layers × 65536 gates.
+    pub fn million(seed: u64) -> Self {
+        ScaleConfig::sized("scale1m", 1 << 20, 16, seed)
+    }
+}
+
+/// Splitmix64 step — cheap, deterministic, and good enough for fanin picks.
+#[inline]
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+const GATE_CHOICES: [GateType; 6] = [
+    GateType::And,
+    GateType::Nand,
+    GateType::Or,
+    GateType::Nor,
+    GateType::Xor,
+    GateType::Not,
+];
+
+/// Generates the layered circuit. Runs in time and memory linear in
+/// `gates + flip_flops + inputs`.
+pub fn scale_circuit(config: &ScaleConfig) -> Netlist {
+    let mut rng = config.seed ^ 0x5ca1_e000;
+    let mut b = NetlistBuilder::new(config.name.clone());
+
+    let inputs = config.inputs.max(1);
+    let width = config.layer_width.max(1);
+    let layers = config.layers.max(1);
+    let ffs = config.flip_flops;
+    // ~2.2 fanins per gate on average; names are short (`g<idx>`).
+    b.reserve(
+        inputs + ffs + layers * width,
+        layers * width * 3 + ffs,
+        (inputs + ffs + layers * width) * 9,
+    );
+
+    let input_names: Vec<String> = (0..inputs).map(|i| format!("i{i}")).collect();
+    for name in &input_names {
+        b.input(name);
+    }
+    let ff_names: Vec<String> = (0..ffs).map(|i| format!("f{i}")).collect();
+
+    // Layer 0 reads the frame inputs: primary inputs + flip-flop outputs
+    // (flip-flops are declared later; forward references resolve at build).
+    let mut prev: Vec<String> = input_names.iter().chain(ff_names.iter()).cloned().collect();
+    let mut gate_idx = 0usize;
+    for _layer in 0..layers {
+        let mut cur: Vec<String> = Vec::with_capacity(width);
+        for _ in 0..width {
+            let name = format!("g{gate_idx}");
+            gate_idx += 1;
+            let gate = GATE_CHOICES[(splitmix(&mut rng) % GATE_CHOICES.len() as u64) as usize];
+            let arity = match gate {
+                GateType::Not => 1,
+                _ => 2 + (splitmix(&mut rng) % 2) as usize,
+            };
+            // A contiguous window of the previous layer plus one random far
+            // pick: local routing with occasional long wires, which makes
+            // most prev-layer signals multi-fanout stems without destroying
+            // locality.
+            let start = (splitmix(&mut rng) % prev.len() as u64) as usize;
+            let fanins: Vec<&str> = (0..arity)
+                .map(|k| {
+                    if k + 1 == arity && arity > 1 {
+                        prev[(splitmix(&mut rng) % prev.len() as u64) as usize].as_str()
+                    } else {
+                        prev[(start + k) % prev.len()].as_str()
+                    }
+                })
+                .collect();
+            b.gate(&name, gate, &fanins)
+                .expect("generated gate arity is always legal");
+            cur.push(name);
+        }
+        prev = cur;
+    }
+
+    // Flip-flops capture the last layer (round-robin with a random stride so
+    // every flip-flop has a well-defined, seed-stable source).
+    let stride = 1 + (splitmix(&mut rng) % 7) as usize;
+    for (f, name) in ff_names.iter().enumerate() {
+        let source = &prev[(f * stride) % prev.len()];
+        b.dff(name, source).expect("flip-flop names are unique");
+    }
+
+    // Primary outputs observe the last layer.
+    for o in 0..config.outputs.max(1) {
+        let pick = &prev[(o * 31 + (splitmix(&mut rng) % prev.len() as u64) as usize) % prev.len()];
+        b.output(pick).expect("output references an existing node");
+    }
+
+    b.build()
+        .expect("generator produces structurally valid circuits")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sla_netlist::levelize::levelize;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let cfg = ScaleConfig::default();
+        let a = scale_circuit(&cfg);
+        let b = scale_circuit(&cfg);
+        assert_eq!(
+            sla_netlist::writer::write_bench(&a),
+            sla_netlist::writer::write_bench(&b)
+        );
+        let c = scale_circuit(&ScaleConfig { seed: 99, ..cfg });
+        assert_ne!(
+            sla_netlist::writer::write_bench(&a),
+            sla_netlist::writer::write_bench(&c)
+        );
+    }
+
+    #[test]
+    fn depth_is_exactly_the_layer_count() {
+        let cfg = ScaleConfig {
+            layers: 5,
+            layer_width: 40,
+            ..ScaleConfig::default()
+        };
+        let n = scale_circuit(&cfg);
+        assert_eq!(n.num_gates(), 200);
+        let lv = levelize(&n).expect("layered DAG is acyclic");
+        assert_eq!(lv.max_level(), 5, "depth equals the layer count");
+    }
+
+    #[test]
+    fn sized_hits_the_requested_gate_count() {
+        let cfg = ScaleConfig::sized("s", 10_000, 10, 3);
+        let n = scale_circuit(&cfg);
+        assert_eq!(n.num_gates(), 10_000);
+        assert!(n.validate().is_ok());
+        assert!(n.num_sequential() >= 4);
+        let million = ScaleConfig::million(1);
+        assert!(million.gates() >= 1 << 20);
+        assert_eq!(million.layers, 16);
+    }
+
+    #[test]
+    fn generated_circuits_have_stems_and_round_trip() {
+        let n = scale_circuit(&ScaleConfig {
+            layers: 3,
+            layer_width: 16,
+            inputs: 6,
+            flip_flops: 8,
+            outputs: 4,
+            ..ScaleConfig::default()
+        });
+        assert!(!sla_netlist::stems::fanout_stems(&n).is_empty());
+        let text = sla_netlist::writer::write_bench(&n);
+        let reparsed = sla_netlist::parser::parse_bench(n.name(), &text).unwrap();
+        assert_eq!(reparsed.num_nodes(), n.num_nodes());
+        assert_eq!(sla_netlist::writer::write_bench(&reparsed), text);
+    }
+}

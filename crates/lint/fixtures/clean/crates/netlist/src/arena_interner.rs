@@ -1,0 +1,72 @@
+//! Fixture: the sanctioned replacement for the default-hasher rule in the
+//! arena shape — an open-addressing symbol table over flat buffers instead
+//! of a `std::collections::HashMap` keyed by `String`. Deterministic by
+//! construction: probe order depends only on the interned bytes.
+
+/// Interned names: one byte buffer, `(start, end)` spans, and a
+/// power-of-two probe table of `sym + 1` (0 = empty).
+#[derive(Default)]
+pub struct Interner {
+    buf: String,
+    spans: Vec<(u32, u32)>,
+    table: Vec<u32>,
+}
+
+fn fold_hash(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in name.as_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    // The probe index masks the LOW bits; fold the high half down so every
+    // byte of the name reaches them.
+    h ^ (h >> 32)
+}
+
+impl Interner {
+    pub fn get(&self, sym: u32) -> &str {
+        let (s, e) = self.spans[sym as usize];
+        &self.buf[s as usize..e as usize]
+    }
+
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if (self.spans.len() + 1) * 2 > self.table.len() {
+            self.grow();
+        }
+        let mask = self.table.len() - 1;
+        let mut i = fold_hash(name) as usize & mask;
+        loop {
+            match self.table[i] {
+                0 => break,
+                v => {
+                    if self.get(v - 1) == name {
+                        return v - 1;
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+        let sym = self.spans.len() as u32;
+        let start = self.buf.len() as u32;
+        self.buf.push_str(name);
+        self.spans.push((start, self.buf.len() as u32));
+        self.table[i] = sym + 1;
+        sym
+    }
+
+    fn grow(&mut self) {
+        let cap = (self.table.len() * 2).max(16);
+        let mask = cap - 1;
+        let mut table = vec![0u32; cap];
+        for sym in 0..self.spans.len() as u32 {
+            let mut i = {
+                let (s, e) = self.spans[sym as usize];
+                fold_hash(&self.buf[s as usize..e as usize]) as usize & mask
+            };
+            while table[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            table[i] = sym + 1;
+        }
+        self.table = table;
+    }
+}

@@ -1,11 +1,22 @@
-//! Fixture: the sanctioned form of the unwrap-in-lib rule — library code
-//! propagates typed errors, and `.unwrap()` inside the `#[cfg(test)]` module
-//! is exempt (a failed test may panic).
+//! Fixture: the sanctioned form of the unwrap-in-lib rule in the refactored
+//! parser shape — trailing-comment stripping and typed error propagation;
+//! `.unwrap()` inside the `#[cfg(test)]` module is exempt (a failed test may
+//! panic).
+
+/// Everything from the first `#` on is a comment (the ISCAS-89 dialect).
+pub fn strip_trailing_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
 
 pub fn parse_width(word: &str) -> Result<u32, String> {
     // Library code propagates the error instead of unwrapping. `unwrap_or`
     // never panics and is fine too.
-    word.parse::<u32>()
+    strip_trailing_comment(word)
+        .trim()
+        .parse::<u32>()
         .map_err(|_| format!("bad width `{word}`"))
         .map(|w| Some(w).unwrap_or(0))
 }
@@ -17,6 +28,6 @@ mod tests {
     #[test]
     fn parses() {
         // Test code may unwrap freely.
-        assert_eq!(parse_width("4").unwrap(), 4);
+        assert_eq!(parse_width("4 # comment").unwrap(), 4);
     }
 }

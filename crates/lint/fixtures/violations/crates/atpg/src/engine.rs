@@ -1,10 +1,12 @@
 //! Fixture: `.unwrap()` / `.expect()` in hardened library code
 //! (unwrap-in-lib). The file path matters — the rule scopes to the real
-//! workspace's hardened parser/engine files.
+//! workspace's hardened parser/engine files. The shape mirrors the arena-CSR
+//! engine: flat offset/edge walks where a missed bounds contract panics.
 
-pub fn classify(raw: Option<u32>) -> u32 {
-    // Both calls below violate unwrap-in-lib.
-    let first = raw.unwrap();
-    let second = Some(first).expect("always present");
-    second
+pub fn first_fanin(fanin_off: &[u32], fanin_edges: &[u32], node: usize) -> u32 {
+    // Both calls below violate unwrap-in-lib: a malformed CSR should surface
+    // as a typed error, not a panic in the search loop.
+    let start = fanin_off.get(node).unwrap();
+    let edge = fanin_edges.get(*start as usize).expect("edge in range");
+    *edge
 }

@@ -31,6 +31,8 @@ pub enum NetlistError {
     },
     /// The netlist failed a structural validity check.
     Invalid(String),
+    /// An I/O failure while reading a netlist file (message includes the path).
+    Io(String),
 }
 
 impl fmt::Display for NetlistError {
@@ -53,6 +55,7 @@ impl fmt::Display for NetlistError {
                 write!(f, "parse error at line {line}, column {column}: {message}")
             }
             NetlistError::Invalid(m) => write!(f, "invalid netlist: {m}"),
+            NetlistError::Io(m) => write!(f, "io error: {m}"),
         }
     }
 }

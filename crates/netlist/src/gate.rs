@@ -84,6 +84,17 @@ impl GateType {
         }
     }
 
+    /// Upper-case name in the ISCAS-89 benchmark dialect, which spells the
+    /// buffer `BUFF`. Use this when emitting `.bench` text meant to be read by
+    /// other ISCAS tools; [`GateType::bench_name`] stays the canonical
+    /// internal spelling (structural hashes are computed over it).
+    pub fn iscas_name(self) -> &'static str {
+        match self {
+            GateType::Buf => "BUFF",
+            other => other.bench_name(),
+        }
+    }
+
     /// Parses a `.bench` gate keyword (case-insensitive). `BUFF` is accepted as
     /// an alias for `BUF`.
     pub fn from_bench_name(s: &str) -> Option<GateType> {
@@ -125,7 +136,7 @@ impl fmt::Display for GateType {
 }
 
 /// The functional kind of a netlist node.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeKind {
     /// Primary input.
     Input,
@@ -201,6 +212,15 @@ mod tests {
         }
         assert_eq!(GateType::from_bench_name("buff"), Some(GateType::Buf));
         assert_eq!(GateType::from_bench_name("banana"), None);
+    }
+
+    #[test]
+    fn iscas_name_round_trip() {
+        for g in GateType::ALL {
+            assert_eq!(GateType::from_bench_name(g.iscas_name()), Some(g));
+        }
+        assert_eq!(GateType::Buf.iscas_name(), "BUFF");
+        assert_eq!(GateType::And.iscas_name(), "AND");
     }
 
     #[test]

@@ -4,6 +4,11 @@
 //! time frame in a single pass over a precomputed topological order. Primary
 //! inputs and sequential-element *outputs* are frame inputs; sequential-element
 //! *data fanins* are frame outputs (the next-state function).
+//!
+//! Since the arena-CSR refactor the levelization is computed once inside
+//! [`crate::NetlistBuilder::build`] and stored in the arena; [`levelize`] is a
+//! thin checked accessor that materializes the owned [`Levelization`] handle
+//! the engines hold on to (or reports the combinational cycle).
 
 use crate::{Netlist, NetlistError, NodeId, Result};
 
@@ -30,82 +35,38 @@ impl Levelization {
         self.level[id.index()]
     }
 
+    /// Per-node logic levels as a flat slice indexed by node id.
+    pub fn levels(&self) -> &[u32] {
+        &self.level
+    }
+
     /// Largest logic level in the circuit (sequential depth of one frame).
     pub fn max_level(&self) -> u32 {
         self.max_level
     }
 }
 
-/// Computes a [`Levelization`] of the combinational logic.
+/// Returns the [`Levelization`] of the combinational logic.
+///
+/// The order and levels are precomputed in the arena at build time, so this
+/// only copies two flat arrays (engines own their `Levelization` handle
+/// independently of the netlist's lifetime).
 ///
 /// # Errors
 ///
 /// Returns [`NetlistError::CombinationalCycle`] if the combinational gates form
 /// a cycle that is not broken by a sequential element.
 pub fn levelize(netlist: &Netlist) -> Result<Levelization> {
-    let n = netlist.num_nodes();
-    let mut level = vec![0u32; n];
-    let mut indegree = vec![0u32; n];
-    let mut is_comb = vec![false; n];
-
-    for (id, node) in netlist.iter() {
-        if node.is_gate() {
-            is_comb[id.index()] = true;
-            // Only combinational fanins gate the evaluation order; inputs and
-            // sequential outputs are available at the start of the frame.
-            indegree[id.index()] = node
-                .fanins
-                .iter()
-                .filter(|f| netlist.node(**f).is_gate())
-                .count() as u32;
-        }
+    match netlist.level_data() {
+        Some((order, level, max_level)) => Ok(Levelization {
+            order: order.to_vec(),
+            level: level.to_vec(),
+            max_level,
+        }),
+        None => Err(NetlistError::CombinationalCycle(
+            netlist.first_cycle_gate_name(),
+        )),
     }
-
-    let mut queue: Vec<NodeId> = netlist
-        .iter()
-        .filter(|(id, n)| n.is_gate() && indegree[id.index()] == 0)
-        .map(|(id, _)| id)
-        .collect();
-    let mut order = Vec::with_capacity(netlist.num_gates());
-    let mut head = 0;
-    while head < queue.len() {
-        let id = queue[head];
-        head += 1;
-        order.push(id);
-        let lvl = netlist
-            .fanins(id)
-            .iter()
-            .map(|f| level[f.index()])
-            .max()
-            .unwrap_or(0)
-            + 1;
-        level[id.index()] = lvl;
-        for &fo in netlist.fanouts(id) {
-            if is_comb[fo.index()] {
-                indegree[fo.index()] -= 1;
-                if indegree[fo.index()] == 0 {
-                    queue.push(fo);
-                }
-            }
-        }
-    }
-
-    if order.len() != netlist.num_gates() {
-        // Find one gate stuck in a cycle for the error message.
-        let stuck = netlist
-            .gates()
-            .find(|g| indegree[g.index()] > 0)
-            .map(|g| netlist.node(g).name.clone())
-            .unwrap_or_else(|| "<unknown>".to_string());
-        return Err(NetlistError::CombinationalCycle(stuck));
-    }
-
-    let max_level = level.iter().copied().max().unwrap_or(0);
-    Ok(Levelization {
-        order,
-        level,
-        max_level,
-    })
 }
 
 #[cfg(test)]
@@ -174,5 +135,21 @@ mod tests {
         };
         assert!(pos("x") < pos("y"));
         assert!(pos("y") < pos("z"));
+    }
+
+    #[test]
+    fn levelize_matches_arena_level_view() {
+        let mut b = NetlistBuilder::new("view");
+        b.input("a");
+        b.gate("g1", GateType::Not, &["a"]).unwrap();
+        b.gate("g2", GateType::And, &["g1", "a"]).unwrap();
+        b.output("g2").unwrap();
+        let n = b.build().unwrap();
+        let lv = levelize(&n).unwrap();
+        let csr = n.csr();
+        for (id, _) in n.iter() {
+            assert_eq!(lv.level(id), csr.level(id));
+        }
+        assert_eq!(lv.levels().len(), n.num_nodes());
     }
 }

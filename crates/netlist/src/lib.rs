@@ -45,7 +45,7 @@ pub mod writer;
 pub use error::NetlistError;
 pub use gate::{GateType, NodeKind};
 pub use hash::{FastHashMap, FastHashSet, FastHasher};
-pub use netlist::{Netlist, NetlistBuilder, Node, NodeId};
+pub use netlist::{Netlist, NetlistBuilder, NetlistCsr, NetlistStats, Node, NodeId};
 pub use seq::{ClockEdge, ClockId, LineConstraint, SeqInfo, SeqKind};
 
 /// Convenient result alias used across this crate.

@@ -1,9 +1,22 @@
+//! Arena-CSR netlist core.
+//!
+//! A [`Netlist`] is a single flat arena: one contiguous kind array, one
+//! contiguous level array, CSR (offset + edge) fanin/fanout adjacency and an
+//! interned name table — no per-node heap allocations. Node ids are dense
+//! `u32`s in declaration order (declaration order is the arena's physical
+//! order, which keeps structural hashes and every downstream iteration order
+//! stable); the levelized evaluation permutation is computed once at build
+//! time and stored alongside the arena, so levelization is a free lookup for
+//! every consumer. [`Node`] is a thin borrowed view into the arena that
+//! preserves the pre-arena field API (`name`, `kind`, `fanins`, `fanouts`).
+
 use crate::error::NetlistError;
 use crate::gate::{GateType, NodeKind};
-use crate::hash::FastHashMap;
+use crate::hash::FastHasher;
 use crate::seq::{ClockId, SeqInfo, SeqKind};
 use crate::Result;
 use std::fmt;
+use std::hash::Hasher as _;
 
 /// Index of a node inside a [`Netlist`] arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -22,20 +35,25 @@ impl fmt::Display for NodeId {
     }
 }
 
-/// A single node (primary input, gate or sequential element) of a [`Netlist`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Node {
+/// A borrowed view of a single node (primary input, gate or sequential
+/// element) of a [`Netlist`].
+///
+/// The fields borrow straight from the arena: `fanins`/`fanouts` are CSR
+/// slices, `name` points into the interned name buffer. The view is `Copy`
+/// and costs four slice/pointer loads to materialize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Node<'a> {
     /// User-visible name (unique within the netlist).
-    pub name: String,
+    pub name: &'a str,
     /// Functional kind.
     pub kind: NodeKind,
     /// Fanin node ids, in declaration order.
-    pub fanins: Vec<NodeId>,
+    pub fanins: &'a [NodeId],
     /// Fanout node ids (nodes that list this node among their fanins).
-    pub fanouts: Vec<NodeId>,
+    pub fanouts: &'a [NodeId],
 }
 
-impl Node {
+impl Node<'_> {
     /// Returns `true` if this node is a sequential element.
     pub fn is_sequential(&self) -> bool {
         self.kind.is_sequential()
@@ -49,6 +67,178 @@ impl Node {
     /// Returns `true` if this node is a combinational gate.
     pub fn is_gate(&self) -> bool {
         self.kind.is_gate()
+    }
+}
+
+/// Zero-cost borrowed view of the raw arena arrays, for hot loops that want
+/// to index the CSR directly instead of going through [`Netlist`] accessors.
+///
+/// `level` is the per-node logic level (frame inputs 0, a gate one above its
+/// deepest fanin); it is all zeros when the combinational logic is cyclic —
+/// reach it only after a successful [`crate::levelize::levelize`].
+#[derive(Debug, Clone, Copy)]
+pub struct NetlistCsr<'a> {
+    /// Node kinds, indexed by node id.
+    pub kinds: &'a [NodeKind],
+    /// Fanin CSR offsets (`len = num_nodes + 1`).
+    pub fanin_off: &'a [u32],
+    /// Flat fanin edge array.
+    pub fanin_edges: &'a [NodeId],
+    /// Fanout CSR offsets (`len = num_nodes + 1`).
+    pub fanout_off: &'a [u32],
+    /// Flat fanout edge array.
+    pub fanout_edges: &'a [NodeId],
+    /// Per-node logic level.
+    pub level: &'a [u32],
+}
+
+impl<'a> NetlistCsr<'a> {
+    /// Fanin ids of `id`.
+    #[inline]
+    pub fn fanins(&self, id: NodeId) -> &'a [NodeId] {
+        let i = id.index();
+        &self.fanin_edges[self.fanin_off[i] as usize..self.fanin_off[i + 1] as usize]
+    }
+
+    /// Fanout ids of `id`.
+    #[inline]
+    pub fn fanouts(&self, id: NodeId) -> &'a [NodeId] {
+        let i = id.index();
+        &self.fanout_edges[self.fanout_off[i] as usize..self.fanout_off[i + 1] as usize]
+    }
+
+    /// Kind of `id`.
+    #[inline]
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        self.kinds[id.index()]
+    }
+
+    /// Logic level of `id`.
+    #[inline]
+    pub fn level(&self, id: NodeId) -> u32 {
+        self.level[id.index()]
+    }
+}
+
+/// Interned node names: one contiguous byte buffer, `(start, end)` spans per
+/// symbol and an open-addressing hash index (FxHash-style [`FastHasher`],
+/// deterministic), so a million-node netlist stores its names in three flat
+/// allocations instead of a million `String`s.
+#[derive(Debug, Clone, Default)]
+struct NameTable {
+    buf: String,
+    spans: Vec<(u32, u32)>,
+    /// Open-addressing table of `sym + 1` (0 = empty); capacity is a power
+    /// of two kept at most half full.
+    table: Vec<u32>,
+}
+
+impl NameTable {
+    fn hash_name(name: &str) -> u64 {
+        let mut h = FastHasher::default();
+        h.write(name.as_bytes());
+        let h = h.finish();
+        // The open-addressing index below masks the LOW bits, but a
+        // multiply-only hash leaves them dependent on just the first few
+        // bytes of the name — `g100000..g199999` would share a handful of
+        // slots and probing would go quadratic. Folding the high half down
+        // makes every byte of the name reach the masked bits.
+        h ^ (h >> 32)
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// The interned string of `sym`.
+    fn get(&self, sym: u32) -> &str {
+        let (s, e) = self.spans[sym as usize];
+        &self.buf[s as usize..e as usize]
+    }
+
+    /// Finds the symbol of `name` without inserting.
+    fn lookup(&self, name: &str) -> Option<u32> {
+        if self.table.is_empty() {
+            return None;
+        }
+        let mask = self.table.len() - 1;
+        let mut i = Self::hash_name(name) as usize & mask;
+        loop {
+            match self.table[i] {
+                0 => return None,
+                v => {
+                    if self.get(v - 1) == name {
+                        return Some(v - 1);
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Interns `name`, returning its (new or existing) symbol.
+    fn intern(&mut self, name: &str) -> u32 {
+        if (self.spans.len() + 1) * 2 > self.table.len() {
+            self.grow();
+        }
+        let mask = self.table.len() - 1;
+        let mut i = Self::hash_name(name) as usize & mask;
+        loop {
+            match self.table[i] {
+                0 => break,
+                v => {
+                    if self.get(v - 1) == name {
+                        return v - 1;
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+        let sym = self.spans.len() as u32;
+        let start = self.buf.len() as u32;
+        self.buf.push_str(name);
+        self.spans.push((start, self.buf.len() as u32));
+        self.table[i] = sym + 1;
+        sym
+    }
+
+    fn grow(&mut self) {
+        let cap = (self.table.len() * 2).max(16);
+        let mask = cap - 1;
+        let mut table = vec![0u32; cap];
+        for sym in 0..self.spans.len() as u32 {
+            let mut i = Self::hash_name(self.get(sym)) as usize & mask;
+            while table[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            table[i] = sym + 1;
+        }
+        self.table = table;
+    }
+
+    /// Pre-sizes the buffers for `names` symbols of ~`bytes` total length.
+    fn reserve(&mut self, names: usize, bytes: usize) {
+        self.buf.reserve(bytes);
+        self.spans.reserve(names);
+        let want = (names + 1) * 2;
+        if want > self.table.len() {
+            let cap = want.next_power_of_two().max(16);
+            if cap > self.table.len() {
+                let spans = std::mem::take(&mut self.spans);
+                // Re-point the whole index at the larger capacity.
+                self.table = vec![0u32; cap];
+                self.spans = spans;
+                let mask = cap - 1;
+                for sym in 0..self.spans.len() as u32 {
+                    let mut i = Self::hash_name(self.get(sym)) as usize & mask;
+                    while self.table[i] != 0 {
+                        i = (i + 1) & mask;
+                    }
+                    self.table[i] = sym + 1;
+                }
+            }
+        }
     }
 }
 
@@ -69,20 +259,56 @@ pub struct NetlistStats {
     pub stems: usize,
 }
 
-/// An immutable gate-level sequential circuit.
+/// An immutable gate-level sequential circuit stored as a flat arena.
 ///
 /// Construct one with [`NetlistBuilder`] or by parsing a `.bench` file with
-/// [`crate::parser::parse_bench`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// [`crate::parser::parse_bench`]. Node ids are dense `u32`s in declaration
+/// order; fanin/fanout adjacency is CSR (one offset array + one flat edge
+/// array each); names live in one interned buffer; the levelized evaluation
+/// order and per-node levels are computed once at build time.
+#[derive(Debug, Clone)]
 pub struct Netlist {
     name: String,
-    nodes: Vec<Node>,
+    kinds: Vec<NodeKind>,
+    names: NameTable,
+    /// Node id -> name symbol.
+    node_sym: Vec<u32>,
+    /// Name symbol -> node id (every post-build symbol is defined).
+    def: Vec<u32>,
+    fanin_off: Vec<u32>,
+    fanin_edges: Vec<NodeId>,
+    fanout_off: Vec<u32>,
+    fanout_edges: Vec<NodeId>,
+    /// Logic level per node (all zeros when `acyclic` is false).
+    level: Vec<u32>,
+    /// Combinational gates in levelized (fanin-before-fanout) order.
+    eval_order: Vec<NodeId>,
+    max_level: u32,
+    acyclic: bool,
+    num_gates: usize,
+    /// Number of primary-output uses per node (for stem detection).
+    po_count: Vec<u32>,
     inputs: Vec<NodeId>,
     outputs: Vec<NodeId>,
     seq_elems: Vec<NodeId>,
     clocks: Vec<String>,
-    by_name: FastHashMap<String, NodeId>,
 }
+
+impl PartialEq for Netlist {
+    fn eq(&self, other: &Self) -> bool {
+        // Derived arrays (fanouts, levels, po counts) follow from these.
+        self.name == other.name
+            && self.kinds == other.kinds
+            && self.fanin_off == other.fanin_off
+            && self.fanin_edges == other.fanin_edges
+            && self.outputs == other.outputs
+            && self.clocks == other.clocks
+            && (0..self.kinds.len())
+                .all(|i| self.names.get(self.node_sym[i]) == other.names.get(other.node_sym[i]))
+    }
+}
+
+impl Eq for Netlist {}
 
 impl Netlist {
     /// Name of the circuit.
@@ -92,24 +318,27 @@ impl Netlist {
 
     /// Total number of nodes (inputs + gates + sequential elements).
     pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
+        self.kinds.len()
     }
 
-    /// Access a node by id.
+    /// Access a node by id, as a borrowed arena view.
     ///
     /// # Panics
     ///
     /// Panics if `id` does not belong to this netlist.
-    pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id.index()]
+    #[inline]
+    pub fn node(&self, id: NodeId) -> Node<'_> {
+        Node {
+            name: self.names.get(self.node_sym[id.index()]),
+            kind: self.kinds[id.index()],
+            fanins: self.fanins(id),
+            fanouts: self.fanouts(id),
+        }
     }
 
-    /// Iterate over all `(NodeId, &Node)` pairs in arena order.
-    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (NodeId(i as u32), n))
+    /// Iterate over all `(NodeId, Node)` pairs in arena order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Node<'_>)> {
+        (0..self.kinds.len() as u32).map(|i| (NodeId(i), self.node(NodeId(i))))
     }
 
     /// Primary input node ids in declaration order.
@@ -139,12 +368,14 @@ impl Netlist {
 
     /// Number of combinational gates.
     pub fn num_gates(&self) -> usize {
-        self.nodes.iter().filter(|n| n.is_gate()).count()
+        self.num_gates
     }
 
     /// Look up a node id by name.
     pub fn node_id(&self, name: &str) -> Option<NodeId> {
-        self.by_name.get(name).copied()
+        let sym = self.names.lookup(name)?;
+        let d = self.def[sym as usize];
+        (d != NONE).then_some(NodeId(d))
     }
 
     /// Look up a node id by name, returning an error when missing.
@@ -165,30 +396,68 @@ impl Netlist {
 
     /// Returns `true` if `id` is a sequential element.
     pub fn is_sequential(&self, id: NodeId) -> bool {
-        self.node(id).is_sequential()
+        self.kinds[id.index()].is_sequential()
     }
 
     /// Returns the sequential metadata of `id`, if it is a sequential element.
     pub fn seq_info(&self, id: NodeId) -> Option<&SeqInfo> {
-        self.node(id).kind.seq_info()
+        self.kinds[id.index()].seq_info()
     }
 
     /// Fanin ids of `id`.
+    #[inline]
     pub fn fanins(&self, id: NodeId) -> &[NodeId] {
-        &self.node(id).fanins
+        let i = id.index();
+        &self.fanin_edges[self.fanin_off[i] as usize..self.fanin_off[i + 1] as usize]
     }
 
     /// Fanout ids of `id`.
+    #[inline]
     pub fn fanouts(&self, id: NodeId) -> &[NodeId] {
-        &self.node(id).fanouts
+        let i = id.index();
+        &self.fanout_edges[self.fanout_off[i] as usize..self.fanout_off[i + 1] as usize]
     }
 
     /// Number of fanouts of `id`, counting an appearance as a primary output as
     /// one additional fanout (a node that drives both logic and a primary
     /// output branches, so it is a stem).
+    #[inline]
     pub fn fanout_count(&self, id: NodeId) -> usize {
-        let po_uses = self.outputs.iter().filter(|&&o| o == id).count();
-        self.node(id).fanouts.len() + po_uses
+        let i = id.index();
+        (self.fanout_off[i + 1] - self.fanout_off[i] + self.po_count[i]) as usize
+    }
+
+    /// Borrowed view of the raw arena arrays for hot loops.
+    #[inline]
+    pub fn csr(&self) -> NetlistCsr<'_> {
+        NetlistCsr {
+            kinds: &self.kinds,
+            fanin_off: &self.fanin_off,
+            fanin_edges: &self.fanin_edges,
+            fanout_off: &self.fanout_off,
+            fanout_edges: &self.fanout_edges,
+            level: &self.level,
+        }
+    }
+
+    /// The precomputed levelization data: `(eval_order, level, max_level)`,
+    /// or `None` when the combinational logic is cyclic.
+    pub(crate) fn level_data(&self) -> Option<(&[NodeId], &[u32], u32)> {
+        self.acyclic
+            .then_some((&self.eval_order[..], &self.level[..], self.max_level))
+    }
+
+    /// Name of the first gate (in id order) stuck in a combinational cycle.
+    /// Only meaningful when [`Netlist::level_data`] is `None`.
+    pub(crate) fn first_cycle_gate_name(&self) -> String {
+        let mut in_order = vec![false; self.kinds.len()];
+        for &id in &self.eval_order {
+            in_order[id.index()] = true;
+        }
+        self.gates()
+            .find(|g| !in_order[g.index()])
+            .map(|g| self.node(g).name.to_string())
+            .unwrap_or_else(|| "<unknown>".to_string())
     }
 
     /// Summary statistics.
@@ -198,8 +467,8 @@ impl Netlist {
             outputs: self.outputs.len(),
             ..NetlistStats::default()
         };
-        for n in &self.nodes {
-            match &n.kind {
+        for kind in &self.kinds {
+            match kind {
                 NodeKind::Gate(_) => s.gates += 1,
                 NodeKind::Seq(info) => match info.kind {
                     SeqKind::FlipFlop => s.flip_flops += 1,
@@ -208,9 +477,8 @@ impl Netlist {
                 NodeKind::Input => {}
             }
         }
-        s.stems = self
-            .iter()
-            .filter(|(id, _)| self.fanout_count(*id) > 1)
+        s.stems = (0..self.kinds.len())
+            .filter(|&i| self.fanout_count(NodeId(i as u32)) > 1)
             .count();
         s
     }
@@ -224,8 +492,8 @@ impl Netlist {
     /// check fails.
     pub fn validate(&self) -> Result<()> {
         for (id, n) in self.iter() {
-            for &f in &n.fanins {
-                if f.index() >= self.nodes.len() {
+            for &f in n.fanins {
+                if f.index() >= self.kinds.len() {
                     return Err(NetlistError::Invalid(format!(
                         "node `{}` has out-of-range fanin {}",
                         n.name, f
@@ -244,7 +512,7 @@ impl Netlist {
                 NodeKind::Gate(g) => {
                     if !g.arity_ok(n.fanins.len()) {
                         return Err(NetlistError::BadArity {
-                            name: n.name.clone(),
+                            name: n.name.to_string(),
                             gate: g.to_string(),
                             got: n.fanins.len(),
                         });
@@ -263,12 +531,12 @@ impl Netlist {
                 }
             }
             // Fanout table consistency.
-            for &f in &n.fanouts {
-                if !self.nodes[f.index()].fanins.contains(&id) {
+            for &f in n.fanouts {
+                if !self.fanins(f).contains(&id) {
                     return Err(NetlistError::Invalid(format!(
                         "fanout table of `{}` lists `{}` which does not drive it",
                         n.name,
-                        self.nodes[f.index()].name
+                        self.node(f).name
                     )));
                 }
             }
@@ -277,18 +545,16 @@ impl Netlist {
     }
 }
 
-/// Internal pre-resolution node record used by the builder.
-#[derive(Debug, Clone)]
-struct PendingNode {
-    name: String,
-    kind: NodeKind,
-    fanin_names: Vec<String>,
-}
+const NONE: u32 = u32::MAX;
 
 /// Incremental, by-name construction of a [`Netlist`].
 ///
 /// Fanins may reference names that are defined later; resolution happens in
-/// [`NetlistBuilder::build`]. Duplicate names are rejected eagerly.
+/// [`NetlistBuilder::build`]. Duplicate names are rejected eagerly. The
+/// builder itself is flat — names are interned on first sight and fanin
+/// references accumulate in one CSR-shaped array — so construction of a
+/// multi-million-gate circuit is a single linear pass with no per-node
+/// allocations.
 ///
 /// # Example
 ///
@@ -310,9 +576,14 @@ struct PendingNode {
 #[derive(Debug, Clone)]
 pub struct NetlistBuilder {
     name: String,
-    pending: Vec<PendingNode>,
-    names: FastHashMap<String, usize>,
-    outputs: Vec<String>,
+    names: NameTable,
+    /// Name symbol -> node index ([`NONE`] while only referenced).
+    def: Vec<u32>,
+    kinds: Vec<NodeKind>,
+    node_sym: Vec<u32>,
+    fanin_off: Vec<u32>,
+    fanin_syms: Vec<u32>,
+    outputs: Vec<u32>,
     clocks: Vec<String>,
 }
 
@@ -322,30 +593,62 @@ impl NetlistBuilder {
     pub fn new(name: impl Into<String>) -> Self {
         NetlistBuilder {
             name: name.into(),
-            pending: Vec::new(),
-            names: FastHashMap::default(),
+            names: NameTable::default(),
+            def: Vec::new(),
+            kinds: Vec::new(),
+            node_sym: Vec::new(),
+            fanin_off: vec![0],
+            fanin_syms: Vec::new(),
             outputs: Vec::new(),
             clocks: vec!["clk".to_string()],
         }
     }
 
+    /// Pre-sizes the arena for `nodes` nodes with ~`edges` total fanins and
+    /// ~`name_bytes` total name length. Purely an allocation hint; the
+    /// builder grows on demand without it.
+    pub fn reserve(&mut self, nodes: usize, edges: usize, name_bytes: usize) {
+        self.names.reserve(nodes, name_bytes);
+        self.def.reserve(nodes);
+        self.kinds.reserve(nodes);
+        self.node_sym.reserve(nodes);
+        self.fanin_off.reserve(nodes);
+        self.fanin_syms.reserve(edges);
+    }
+
+    /// Interns `name` and keeps the definition table in sync.
+    fn sym(&mut self, name: &str) -> u32 {
+        let sym = self.names.intern(name);
+        if sym as usize == self.def.len() {
+            self.def.push(NONE);
+        }
+        sym
+    }
+
     fn insert(&mut self, name: &str, kind: NodeKind, fanins: &[&str]) -> Result<()> {
-        if self.names.contains_key(name) {
+        let sym = self.sym(name);
+        if self.def[sym as usize] != NONE {
             return Err(NetlistError::DuplicateNode(name.to_string()));
         }
-        self.names.insert(name.to_string(), self.pending.len());
-        self.pending.push(PendingNode {
-            name: name.to_string(),
-            kind,
-            fanin_names: fanins.iter().map(|s| s.to_string()).collect(),
-        });
+        self.def[sym as usize] = self.kinds.len() as u32;
+        self.kinds.push(kind);
+        self.node_sym.push(sym);
+        for f in fanins {
+            let fs = self.sym(f);
+            self.fanin_syms.push(fs);
+        }
+        self.fanin_off.push(self.fanin_syms.len() as u32);
         Ok(())
     }
 
     /// Declares a primary input. Redeclaring an existing name is ignored so
     /// that parsers can be lenient about repeated `INPUT` lines.
     pub fn input(&mut self, name: &str) {
-        if !self.names.contains_key(name) {
+        let defined = self
+            .names
+            .lookup(name)
+            .is_some_and(|s| self.def[s as usize] != NONE);
+        if !defined {
             let _ = self.insert(name, NodeKind::Input, &[]);
         }
     }
@@ -403,85 +706,186 @@ impl NetlistBuilder {
     ///
     /// Currently infallible; the `Result` is kept for forward compatibility.
     pub fn output(&mut self, name: &str) -> Result<()> {
-        self.outputs.push(name.to_string());
+        let sym = self.sym(name);
+        self.outputs.push(sym);
         Ok(())
     }
 
     /// Number of nodes added so far.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.kinds.len()
     }
 
     /// Returns `true` if no nodes have been added.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.kinds.is_empty()
     }
 
     /// Resolves all name references and produces the immutable [`Netlist`].
+    ///
+    /// Runs in time linear in nodes + edges: fanin symbols resolve through
+    /// the definition table, the fanout CSR is a two-pass counting fill, and
+    /// the levelization (stored in the arena) is one Kahn sweep.
     ///
     /// # Errors
     ///
     /// Returns [`NetlistError::UnknownNode`] when a fanin or output references
     /// an undefined name, and any error surfaced by [`Netlist::validate`].
     pub fn build(self) -> Result<Netlist> {
-        let mut nodes: Vec<Node> = Vec::with_capacity(self.pending.len());
-        for p in &self.pending {
-            let mut fanins = Vec::with_capacity(p.fanin_names.len());
-            for f in &p.fanin_names {
-                let idx = self
-                    .names
-                    .get(f)
-                    .ok_or_else(|| NetlistError::UnknownNode(f.clone()))?;
-                fanins.push(NodeId(*idx as u32));
+        let n = self.kinds.len();
+
+        // Resolve fanin references (declaration order — first undefined name
+        // in declaration order wins the error, as before the arena).
+        let mut fanin_edges: Vec<NodeId> = Vec::with_capacity(self.fanin_syms.len());
+        for &fs in &self.fanin_syms {
+            let d = self.def[fs as usize];
+            if d == NONE {
+                return Err(NetlistError::UnknownNode(self.names.get(fs).to_string()));
             }
-            nodes.push(Node {
-                name: p.name.clone(),
-                kind: p.kind.clone(),
-                fanins,
-                fanouts: Vec::new(),
-            });
+            fanin_edges.push(NodeId(d));
         }
-        // Fanout adjacency.
-        for i in 0..nodes.len() {
-            let fanins = nodes[i].fanins.clone();
-            for f in fanins {
-                nodes[f.index()].fanouts.push(NodeId(i as u32));
+
+        // Fanout CSR: count, prefix-sum, fill. Filling in (driver-node,
+        // pin) order reproduces the insertion order of the pre-arena
+        // per-node `Vec` push loop exactly.
+        let mut fanout_off = vec![0u32; n + 1];
+        for e in &fanin_edges {
+            fanout_off[e.index() + 1] += 1;
+        }
+        for i in 0..n {
+            fanout_off[i + 1] += fanout_off[i];
+        }
+        let mut cursor: Vec<u32> = fanout_off[..n].to_vec();
+        let mut fanout_edges = vec![NodeId(0); fanin_edges.len()];
+        for i in 0..n {
+            let (s, e) = (self.fanin_off[i] as usize, self.fanin_off[i + 1] as usize);
+            for &f in &fanin_edges[s..e] {
+                fanout_edges[cursor[f.index()] as usize] = NodeId(i as u32);
+                cursor[f.index()] += 1;
             }
         }
+
         let mut inputs = Vec::new();
         let mut seq_elems = Vec::new();
-        for (i, n) in nodes.iter().enumerate() {
-            match n.kind {
+        let mut num_gates = 0usize;
+        for (i, kind) in self.kinds.iter().enumerate() {
+            match kind {
                 NodeKind::Input => inputs.push(NodeId(i as u32)),
                 NodeKind::Seq(_) => seq_elems.push(NodeId(i as u32)),
-                NodeKind::Gate(_) => {}
+                NodeKind::Gate(_) => num_gates += 1,
             }
         }
+
         let mut outputs = Vec::with_capacity(self.outputs.len());
-        for o in &self.outputs {
-            let idx = self
-                .names
-                .get(o)
-                .ok_or_else(|| NetlistError::UnknownNode(o.clone()))?;
-            outputs.push(NodeId(*idx as u32));
+        let mut po_count = vec![0u32; n];
+        for &sym in &self.outputs {
+            let d = self.def[sym as usize];
+            if d == NONE {
+                return Err(NetlistError::UnknownNode(self.names.get(sym).to_string()));
+            }
+            outputs.push(NodeId(d));
+            po_count[d as usize] += 1;
         }
-        let by_name = self
-            .names
-            .iter()
-            .map(|(k, v)| (k.clone(), NodeId(*v as u32)))
-            .collect();
+
+        // Levelization: Kahn over the CSR, seeded with zero-comb-indegree
+        // gates in id order. Stored even when incomplete (cyclic) — the
+        // `acyclic` flag gates consumers.
+        let (level, eval_order, max_level, acyclic) = levelize_arena(
+            &self.kinds,
+            &self.fanin_off,
+            &fanin_edges,
+            &fanout_off,
+            &fanout_edges,
+            num_gates,
+        );
+
         let netlist = Netlist {
             name: self.name,
-            nodes,
+            kinds: self.kinds,
+            names: self.names,
+            node_sym: self.node_sym,
+            def: self.def,
+            fanin_off: self.fanin_off,
+            fanin_edges,
+            fanout_off,
+            fanout_edges,
+            level,
+            eval_order,
+            max_level,
+            acyclic,
+            num_gates,
+            po_count,
             inputs,
             outputs,
             seq_elems,
             clocks: self.clocks,
-            by_name,
         };
         netlist.validate()?;
         Ok(netlist)
     }
+}
+
+/// One Kahn sweep over the CSR. Returns `(level, eval_order, max_level,
+/// acyclic)`; the order and levels are bit-identical to the pre-arena
+/// `levelize` (same seed order, same FIFO discipline, same level recurrence).
+fn levelize_arena(
+    kinds: &[NodeKind],
+    fanin_off: &[u32],
+    fanin_edges: &[NodeId],
+    fanout_off: &[u32],
+    fanout_edges: &[NodeId],
+    num_gates: usize,
+) -> (Vec<u32>, Vec<NodeId>, u32, bool) {
+    let n = kinds.len();
+    let mut level = vec![0u32; n];
+    let mut indegree = vec![0u32; n];
+    let fanins = |i: usize| &fanin_edges[fanin_off[i] as usize..fanin_off[i + 1] as usize];
+    let fanouts = |i: usize| &fanout_edges[fanout_off[i] as usize..fanout_off[i + 1] as usize];
+
+    for i in 0..n {
+        if kinds[i].is_gate() {
+            // Only combinational fanins gate the evaluation order; inputs and
+            // sequential outputs are available at the start of the frame.
+            indegree[i] = fanins(i)
+                .iter()
+                .filter(|f| kinds[f.index()].is_gate())
+                .count() as u32;
+        }
+    }
+
+    let mut queue: Vec<NodeId> = (0..n)
+        .filter(|&i| kinds[i].is_gate() && indegree[i] == 0)
+        .map(|i| NodeId(i as u32))
+        .collect();
+    let mut order = Vec::with_capacity(num_gates);
+    let mut head = 0;
+    while head < queue.len() {
+        let id = queue[head];
+        head += 1;
+        order.push(id);
+        let lvl = fanins(id.index())
+            .iter()
+            .map(|f| level[f.index()])
+            .max()
+            .unwrap_or(0)
+            + 1;
+        level[id.index()] = lvl;
+        for &fo in fanouts(id.index()) {
+            if kinds[fo.index()].is_gate() {
+                indegree[fo.index()] -= 1;
+                if indegree[fo.index()] == 0 {
+                    queue.push(fo);
+                }
+            }
+        }
+    }
+
+    if order.len() != num_gates {
+        level.iter_mut().for_each(|l| *l = 0);
+        return (level, order, 0, false);
+    }
+    let max_level = level.iter().copied().max().unwrap_or(0);
+    (level, order, max_level, true)
 }
 
 #[cfg(test)]
@@ -614,5 +1018,70 @@ mod tests {
         // netlist and check validate() passes instead.
         let n = small();
         assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    fn csr_view_matches_accessors() {
+        let n = small();
+        let csr = n.csr();
+        for (id, node) in n.iter() {
+            assert_eq!(csr.fanins(id), node.fanins);
+            assert_eq!(csr.fanouts(id), node.fanouts);
+            assert_eq!(csr.kind(id), node.kind);
+        }
+    }
+
+    #[test]
+    fn arena_levels_available_after_build() {
+        let n = small();
+        let (order, level, max_level) = n.level_data().expect("acyclic");
+        assert_eq!(order.len(), n.num_gates());
+        let g = n.require("g").unwrap();
+        let h = n.require("h").unwrap();
+        assert_eq!(level[g.index()], 1);
+        assert_eq!(level[h.index()], 2);
+        assert_eq!(max_level, 2);
+    }
+
+    #[test]
+    fn name_table_interns_and_survives_growth() {
+        let mut t = NameTable::default();
+        let syms: Vec<u32> = (0..1000).map(|i| t.intern(&format!("node_{i}"))).collect();
+        for (i, &s) in syms.iter().enumerate() {
+            assert_eq!(t.get(s), format!("node_{i}"));
+            assert_eq!(t.lookup(&format!("node_{i}")), Some(s));
+        }
+        assert_eq!(t.intern("node_500"), syms[500], "re-intern is idempotent");
+        assert_eq!(t.lookup("absent"), None);
+        assert_eq!(t.len(), 1000);
+    }
+
+    #[test]
+    fn reserve_is_only_a_hint() {
+        let mut b = NetlistBuilder::new("hint");
+        b.reserve(100, 200, 800);
+        b.input("a");
+        b.gate("g", GateType::Not, &["a"]).unwrap();
+        b.output("g").unwrap();
+        let n = b.build().unwrap();
+        assert_eq!(n.num_nodes(), 2);
+        assert_eq!(n.require("g").unwrap(), NodeId(1));
+    }
+
+    #[test]
+    fn netlist_equality_is_structural() {
+        let build = || {
+            let mut b = NetlistBuilder::new("eq");
+            b.input("a");
+            b.gate("g", GateType::Not, &["a"]).unwrap();
+            b.output("g").unwrap();
+            b.build().unwrap()
+        };
+        assert_eq!(build(), build());
+        let mut b = NetlistBuilder::new("eq");
+        b.input("a");
+        b.gate("g", GateType::Buf, &["a"]).unwrap();
+        b.output("g").unwrap();
+        assert_ne!(build(), b.build().unwrap());
     }
 }

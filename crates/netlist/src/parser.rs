@@ -20,6 +20,13 @@
 //! #pragma set f3 unconstrained
 //! #pragma reset f3 constrained
 //! ```
+//!
+//! All the whitespace and comment variants seen in circulated ISCAS-89 files
+//! are accepted: blank lines, indentation, tabs, CRLF line endings, full-line
+//! `#` comments and trailing `# ...` comments after any statement. `BUFF`,
+//! `INV` and multi-input `AND/NAND/OR/NOR/XOR/XNOR` parse directly; the
+//! netlist arena is built in a single linear pass over the text (a cheap
+//! pre-scan sizes the arena so construction never reallocates).
 
 use crate::hash::FastHashMap;
 use crate::{
@@ -52,6 +59,15 @@ fn content_column(raw: &str, pos: usize) -> usize {
     indent + pos + 1
 }
 
+/// Strips a trailing `# comment` from an already-trimmed statement line.
+/// `.bench` names never contain `#`, so the first one starts the comment.
+fn strip_trailing_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(p) => line[..p].trim_end(),
+        None => line,
+    }
+}
+
 fn parse_constraint(word: &str, line_no: usize, column: usize) -> Result<LineConstraint> {
     match word.to_ascii_lowercase().as_str() {
         "unconstrained" => Ok(LineConstraint::Unconstrained),
@@ -73,8 +89,10 @@ fn collect_pragmas(text: &str) -> Result<FastHashMap<String, SeqOverride>> {
         let Some(rest) = line.strip_prefix("#pragma") else {
             continue;
         };
-        // Errors inside a pragma point at the directive word.
+        // Errors inside a pragma point at the directive word. A trailing
+        // `# comment` after the pragma operands is legal.
         let col = content_column(raw, line.len() - rest.trim_start().len());
+        let rest = strip_trailing_comment(rest);
         let words: Vec<&str> = rest.split_whitespace().collect();
         if words.len() < 2 {
             return Err(parse_err(
@@ -176,10 +194,22 @@ pub fn parse_bench(name: &str, text: &str) -> Result<Netlist> {
     let pragmas = collect_pragmas(text)?;
     let mut b = NetlistBuilder::new(name);
 
+    // Cheap size pre-scan so the arena never reallocates during the parse:
+    // every statement line defines at most one node, every fanin after the
+    // first adds one comma. Over-estimates (comments, outputs) only cost
+    // slack capacity.
+    let lines = text.lines().count();
+    let commas = text.bytes().filter(|&c| c == b',').count();
+    b.reserve(lines, commas + lines, text.len());
+
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let line = strip_trailing_comment(line);
+        if line.is_empty() {
             continue;
         }
         let upper = line.to_ascii_uppercase();
@@ -282,6 +312,24 @@ pub fn parse_bench(name: &str, text: &str) -> Result<Netlist> {
     }
 
     b.build()
+}
+
+/// Reads and parses a `.bench` file from disk. The circuit is named after the
+/// file stem (`s38417.bench` → `s38417`).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Io`] when the file cannot be read, otherwise any
+/// error [`parse_bench`] produces.
+pub fn parse_bench_file(path: impl AsRef<std::path::Path>) -> Result<Netlist> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| NetlistError::Io(format!("{}: {e}", path.display())))?;
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("netlist");
+    parse_bench(name, &text)
 }
 
 /// Returns the byte range of the argument of `KEYWORD(arg)` if the line is such
@@ -455,5 +503,58 @@ q = LATCH(a)
             n.node(n.require("g").unwrap()).kind.gate_type(),
             Some(GateType::Buf)
         );
+    }
+
+    #[test]
+    fn trailing_comments_whitespace_and_crlf_variants() {
+        // Tabs, CRLF endings, trailing comments after statements and pragmas,
+        // and a comment containing parentheses — all seen in circulated
+        // ISCAS-89 files.
+        let src = "INPUT(a)   # first input (primary)\r\n\
+                   \tINPUT( b )\t# tabbed\r\n\
+                   OUTPUT(q) # observed\r\n\
+                   #pragma clock q clk_b falling # non-default domain\r\n\
+                   g = NAND(a, b) # g(a,b)\r\n\
+                   q = DFF(g)\r\n\
+                   \r\n";
+        let n = parse_bench("messy", src).unwrap();
+        assert_eq!(n.inputs().len(), 2);
+        assert_eq!(n.num_gates(), 1);
+        assert_eq!(n.num_sequential(), 1);
+        let info = n.seq_info(n.require("q").unwrap()).unwrap();
+        assert_eq!(n.clock_name(info.clock), "clk_b");
+        assert_eq!(info.edge, ClockEdge::Falling);
+        // A line that is only a comment after stripping is skipped.
+        assert!(parse_bench("c", "INPUT(a)\nOUTPUT(a)\n   # note\n").is_ok());
+    }
+
+    #[test]
+    fn wide_gates_parse() {
+        let mut src = String::from("OUTPUT(g)\n");
+        let args: Vec<String> = (0..64).map(|i| format!("i{i}")).collect();
+        for a in &args {
+            src.push_str(&format!("INPUT({a})\n"));
+        }
+        src.push_str(&format!("g = NOR({})\n", args.join(", ")));
+        let n = parse_bench("wide", &src).unwrap();
+        let g = n.require("g").unwrap();
+        assert_eq!(n.fanins(g).len(), 64);
+        assert_eq!(n.node(g).kind.gate_type(), Some(GateType::Nor));
+    }
+
+    #[test]
+    fn parse_bench_file_reads_from_disk() {
+        let dir = std::env::temp_dir().join("sla_parse_bench_file_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny27.bench");
+        std::fs::write(&path, S27_LIKE).unwrap();
+        let n = parse_bench_file(&path).unwrap();
+        assert_eq!(n.name(), "tiny27");
+        assert_eq!(n.num_gates(), 10);
+        let missing = dir.join("does_not_exist.bench");
+        assert!(matches!(
+            parse_bench_file(&missing),
+            Err(NetlistError::Io(_))
+        ));
     }
 }

@@ -48,12 +48,11 @@ mod tests {
         b.output("g3").unwrap();
         let n = b.build().unwrap();
         let stems = fanout_stems(&n);
-        let name = |id: NodeId| n.node(id).name.clone();
-        let names: Vec<_> = stems.iter().map(|&s| name(s)).collect();
+        let names: Vec<&str> = stems.iter().map(|&s| n.node(s).name).collect();
         // g1 feeds g2 and g3; i2 feeds g1 and g3; i1 only feeds g1.
-        assert!(names.contains(&"g1".to_string()));
-        assert!(names.contains(&"i2".to_string()));
-        assert!(!names.contains(&"i1".to_string()));
+        assert!(names.contains(&"g1"));
+        assert!(names.contains(&"i2"));
+        assert!(!names.contains(&"i1"));
     }
 
     #[test]

@@ -71,28 +71,26 @@ pub fn write_bench(netlist: &Netlist) -> String {
         match &node.kind {
             NodeKind::Input => {}
             NodeKind::Gate(g) => {
-                let args: Vec<&str> = node
-                    .fanins
-                    .iter()
-                    .map(|f| netlist.node(*f).name.as_str())
-                    .collect();
+                let args: Vec<&str> = node.fanins.iter().map(|f| netlist.node(*f).name).collect();
                 match g {
                     GateType::Const0 | GateType::Const1 => {
-                        let _ = writeln!(out, "{} = {}()", node.name, g.bench_name());
+                        let _ = writeln!(out, "{} = {}()", node.name, g.iscas_name());
                     }
                     _ => {
+                        // `iscas_name` spells the buffer `BUFF`, matching the
+                        // ISCAS-89 dialect other tools emit and expect.
                         let _ = writeln!(
                             out,
                             "{} = {}({})",
                             node.name,
-                            g.bench_name(),
+                            g.iscas_name(),
                             args.join(", ")
                         );
                     }
                 }
             }
             NodeKind::Seq(info) => {
-                let data = netlist.node(node.fanins[0]).name.as_str();
+                let data = netlist.node(node.fanins[0]).name;
                 let kw = match info.kind {
                     SeqKind::FlipFlop => "DFF",
                     SeqKind::Latch => "LATCH",

@@ -20,6 +20,7 @@ INPUT(G0)
 INPUT(G1)
 INPUT(G2)
 OUTPUT(G17)
+OUTPUT(G22)
 #pragma clock G7 clk_b falling
 #pragma latch G7 2
 #pragma set G7 unconstrained
@@ -32,6 +33,9 @@ G16 = OR(G2, G8)
 G10 = NOR(G14, G11)
 G11 = NOR(G5, G16)
 G13 = NAND(G1, G8)
+G20 = AND(G0, G1, G2, G8)  # 4-input gate
+G21 = DFF(G20)
+G22 = BUFF(G21)
 ";
 
 /// Bytes the mutator inserts/overwrites with, biased toward the grammar's
@@ -96,6 +100,66 @@ proptest! {
             // Fixed point: a second write emits byte-identical text.
             prop_assert_eq!(written, write_bench(&reparsed));
         }
+    }
+
+    /// Generated well-formed sequential circuits — DFFs, multi-input gates
+    /// (up to 5 fanins), `BUFF`/`NOT`, trailing comments — must parse, and
+    /// write → parse must reproduce the exact structure name-for-name.
+    #[test]
+    fn generated_seq_netlists_round_trip(seed in 0u64..50_000) {
+        let mut rng = TestRng::new(seed ^ 0x5eed_cafe);
+        let n_inputs = 1 + (rng.next_u64() % 5) as usize;
+        let n_ffs = (rng.next_u64() % 4) as usize;
+        let n_gates = 1 + (rng.next_u64() % 10) as usize;
+
+        let mut src = String::new();
+        let mut pool: Vec<String> = Vec::new();
+        for i in 0..n_inputs {
+            src.push_str(&format!("INPUT(i{i})\n"));
+            pool.push(format!("i{i}"));
+        }
+        // Flip-flop data fanins reference gates declared *later* — forward
+        // references are part of the grammar.
+        for f in 0..n_ffs {
+            let data = rng.next_u64() as usize % n_gates;
+            src.push_str(&format!("q{f} = DFF(g{data})\n"));
+            pool.push(format!("q{f}"));
+        }
+        const FUNCS: &[&str] = &["AND", "NAND", "OR", "NOR", "XOR", "XNOR", "NOT", "BUFF"];
+        for g in 0..n_gates {
+            let func = FUNCS[rng.next_u64() as usize % FUNCS.len()];
+            let arity = if matches!(func, "NOT" | "BUFF") {
+                1
+            } else {
+                2 + (rng.next_u64() % 4) as usize
+            };
+            let fanins: Vec<&str> = (0..arity)
+                .map(|_| pool[rng.next_u64() as usize % pool.len()].as_str())
+                .collect();
+            let comment = if rng.next_u64().is_multiple_of(3) { "  # gen" } else { "" };
+            src.push_str(&format!("g{g} = {func}({}){comment}\n", fanins.join(", ")));
+            // Only earlier gates feed later ones, so the circuit is acyclic.
+            pool.push(format!("g{g}"));
+        }
+        for _ in 0..1 + rng.next_u64() % 3 {
+            let pick = &pool[n_inputs + (rng.next_u64() as usize) % (pool.len() - n_inputs)];
+            src.push_str(&format!("OUTPUT({pick})\n"));
+        }
+
+        let n1 = parse_bench("gen", &src).expect("generated text is well-formed");
+        let written = write_bench(&n1);
+        let n2 = parse_bench("gen", &written).expect("writer output must parse");
+        prop_assert_eq!(n1.num_nodes(), n2.num_nodes());
+        prop_assert_eq!(n1.outputs().len(), n2.outputs().len());
+        for (_, node) in n1.iter() {
+            let id2 = n2.require(node.name).expect("same names");
+            let node2 = n2.node(id2);
+            prop_assert_eq!(&node.kind, &node2.kind, "kind of {}", node.name);
+            let f1: Vec<&str> = node.fanins.iter().map(|&f| n1.node(f).name).collect();
+            let f2: Vec<&str> = node2.fanins.iter().map(|&f| n2.node(f).name).collect();
+            prop_assert_eq!(f1, f2, "fanins of {}", node.name);
+        }
+        prop_assert_eq!(written, write_bench(&n2));
     }
 
     /// Pure-noise inputs (no valid base) also never panic.

@@ -85,7 +85,7 @@ fn backward_pass(
         let Some(out) = values[id.index()].to_bool() else {
             continue;
         };
-        let fanins = &node.fanins;
+        let fanins = node.fanins;
         let force = |node: NodeId, v: bool, values: &mut [Logic3], changed: &mut bool| -> bool {
             match values[node.index()] {
                 Logic3::X => {

@@ -28,21 +28,22 @@ use crate::fault::{Fault, FaultSite};
 use crate::value::Logic3;
 use crate::Result;
 use sla_netlist::levelize::{levelize, Levelization};
-use sla_netlist::{Netlist, NodeId, NodeKind};
+use sla_netlist::{Netlist, NetlistCsr, NodeId, NodeKind};
 
 /// Event-driven, trail-undoable simulation of `window` time frames.
 #[derive(Debug, Clone)]
 pub struct EventSim<'a> {
     netlist: &'a Netlist,
+    /// Raw arena view; the event loop indexes the CSR arrays directly. Its
+    /// `level` slice doubles as the per-node logic level within a frame:
+    /// frame inputs (primary inputs and sequential elements) are 0, a gate is
+    /// one above its deepest fanin. Events are drained in `(frame, level)`
+    /// order — same-level nodes are independent, so every node is recomputed
+    /// after all of its same-frame fanins.
+    csr: NetlistCsr<'a>,
     window: usize,
     num_nodes: usize,
     fault: Option<Fault>,
-    /// Per-node logic level within a frame: frame inputs (primary inputs and
-    /// sequential elements) are 0, a gate is one above its deepest fanin.
-    /// Events are drained in `(frame, level)` order — same-level nodes are
-    /// independent, so every node is recomputed after all of its same-frame
-    /// fanins.
-    level: Vec<u32>,
     /// Number of level buckets per frame (`max_level + 1`).
     levels_per_frame: usize,
     /// Flat `(frame * num_nodes + node)` values.
@@ -92,17 +93,13 @@ impl<'a> EventSim<'a> {
         fault: Option<Fault>,
     ) -> Self {
         let num_nodes = netlist.num_nodes();
-        let mut level = vec![0u32; num_nodes];
-        for &id in levels.order() {
-            level[id.index()] = levels.level(id);
-        }
         let levels_per_frame = levels.max_level() as usize + 1;
         let mut sim = EventSim {
             netlist,
+            csr: netlist.csr(),
             window,
             num_nodes,
             fault,
-            level,
             levels_per_frame,
             values: vec![Logic3::X; window * num_nodes],
             queued: vec![false; window * num_nodes],
@@ -198,16 +195,18 @@ impl<'a> EventSim<'a> {
                 return Logic3::from_bool(f.stuck_at);
             }
         }
-        let node = self.netlist.node(id);
         let base = frame * self.num_nodes;
-        match node.kind {
+        // Hot path: read kind and fanins straight off the CSR arrays instead
+        // of materializing a `Node` view per event.
+        let fanins = self.csr.fanins(id);
+        match self.csr.kind(id) {
             // Inputs hold their assigned value; they are never event targets.
             NodeKind::Input => self.values[base + id.index()],
             NodeKind::Seq(_) => {
                 if frame == 0 {
                     Logic3::X // the power-up state is unknown
                 } else {
-                    self.values[(frame - 1) * self.num_nodes + node.fanins[0].index()]
+                    self.values[(frame - 1) * self.num_nodes + fanins[0].index()]
                 }
             }
             NodeKind::Gate(gate) => match self.fault {
@@ -216,7 +215,7 @@ impl<'a> EventSim<'a> {
                     stuck_at,
                 }) if fg == id => eval_gate3(
                     gate,
-                    node.fanins.iter().enumerate().map(|(p, d)| {
+                    fanins.iter().enumerate().map(|(p, d)| {
                         if p == pin {
                             Logic3::from_bool(stuck_at)
                         } else {
@@ -224,11 +223,7 @@ impl<'a> EventSim<'a> {
                         }
                     }),
                 ),
-                _ => eval_gate3_at(
-                    gate,
-                    &node.fanins,
-                    &self.values[base..base + self.num_nodes],
-                ),
+                _ => eval_gate3_at(gate, fanins, &self.values[base..base + self.num_nodes]),
             },
         }
     }
@@ -261,11 +256,11 @@ impl<'a> EventSim<'a> {
     }
 
     fn schedule_fanouts(&mut self, frame: usize, id: NodeId) {
-        let netlist = self.netlist;
-        for &fo in netlist.fanouts(id) {
+        let csr = self.csr;
+        for &fo in csr.fanouts(id) {
             // A sequential fanout samples this value as its next state: the
             // event crosses the flip-flop boundary into the next frame.
-            let target_frame = if netlist.node(fo).is_sequential() {
+            let target_frame = if csr.kind(fo).is_sequential() {
                 frame + 1
             } else {
                 frame
@@ -274,8 +269,7 @@ impl<'a> EventSim<'a> {
                 let slot = target_frame * self.num_nodes + fo.index();
                 if !self.queued[slot] {
                     self.queued[slot] = true;
-                    let bucket =
-                        target_frame * self.levels_per_frame + self.level[fo.index()] as usize;
+                    let bucket = target_frame * self.levels_per_frame + csr.level(fo) as usize;
                     self.buckets[bucket].push(fo.0);
                     self.pending += 1;
                 }

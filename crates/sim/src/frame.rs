@@ -107,7 +107,7 @@ impl<'a> CombEvaluator<'a> {
             let NodeKind::Gate(gate) = node.kind else {
                 continue;
             };
-            let computed = eval_gate3_at(gate, &node.fanins, values);
+            let computed = eval_gate3_at(gate, node.fanins, values);
             let idx = id.index();
             if forced[idx] {
                 if computed.is_binary()

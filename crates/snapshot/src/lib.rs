@@ -129,7 +129,7 @@ pub fn structural_hash(netlist: &Netlist) -> u64 {
             }
         }
         h.write_usize(node.fanins.len());
-        for f in &node.fanins {
+        for f in node.fanins {
             h.write_u32(f.0);
         }
     }

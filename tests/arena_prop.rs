@@ -1,0 +1,199 @@
+//! Property tests for the arena-CSR netlist core: the flat [`NetlistCsr`]
+//! view and the arena-resident levelization must agree with a naive
+//! reference computed from the public accessor API on random netlists, and
+//! the structural hashes of the committed workloads must not move — node
+//! ids are declaration order by contract, so the arena refactor is invisible
+//! to snapshots taken before it.
+
+use proptest::prelude::*;
+use seqlearn::circuits::{scale_circuit, synthesize, ScaleConfig, SynthConfig};
+use seqlearn::netlist::levelize::levelize;
+use seqlearn::netlist::{Netlist, NodeId};
+
+fn random_netlist(seed: u64) -> Netlist {
+    synthesize(&SynthConfig {
+        name: format!("arena{seed}"),
+        inputs: 3 + (seed % 5) as usize,
+        outputs: 2 + (seed % 3) as usize,
+        flip_flops: (seed % 7) as usize,
+        gates: 10 + (seed % 60) as usize,
+        max_fanin: 2 + (seed % 4) as usize,
+        seed,
+    })
+}
+
+/// Naive per-node fanout lists rebuilt from the fanin accessors alone, in
+/// the contractual (driver, pin) order: iterate consumers in id order and
+/// append each consumer once per fanin pin it reads from the driver.
+fn reference_fanouts(n: &Netlist) -> Vec<Vec<NodeId>> {
+    let mut fanouts = vec![Vec::new(); n.num_nodes()];
+    for (id, node) in n.iter() {
+        for &f in node.fanins {
+            fanouts[f.index()].push(id);
+        }
+    }
+    fanouts
+}
+
+/// Naive Kahn levelization over the accessor API: combinational indegrees,
+/// id-ordered seed queue, FIFO, `level = 1 + max(fanin levels)`.
+fn reference_levels(n: &Netlist) -> Vec<u32> {
+    let mut indeg = vec![0usize; n.num_nodes()];
+    for (id, node) in n.iter() {
+        if node.kind.is_sequential() {
+            continue;
+        }
+        indeg[id.index()] = node
+            .fanins
+            .iter()
+            .filter(|f| !n.node(**f).kind.is_sequential())
+            .count();
+    }
+    let mut level = vec![0u32; n.num_nodes()];
+    let mut queue: Vec<NodeId> = n
+        .iter()
+        .filter(|(id, node)| !node.kind.is_sequential() && indeg[id.index()] == 0)
+        .map(|(id, _)| id)
+        .collect();
+    let mut head = 0;
+    while head < queue.len() {
+        let id = queue[head];
+        head += 1;
+        if n.node(id).kind.is_gate() {
+            level[id.index()] = 1 + n
+                .fanins(id)
+                .iter()
+                .map(|&f| level[f.index()])
+                .max()
+                .unwrap_or(0);
+        }
+        for &fo in n.fanouts(id) {
+            if n.node(fo).kind.is_sequential() {
+                continue;
+            }
+            indeg[fo.index()] -= 1;
+            if indeg[fo.index()] == 0 {
+                queue.push(fo);
+            }
+        }
+    }
+    level
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The raw CSR slices agree with the `Node` view and the per-id
+    /// accessors for every node: same kinds, same fanin lists, and fanout
+    /// lists identical to the naive rebuild (order included).
+    #[test]
+    fn csr_matches_accessor_reference(seed in 0u64..10_000) {
+        let n = random_netlist(seed);
+        let csr = n.csr();
+        let fanouts = reference_fanouts(&n);
+        for (id, node) in n.iter() {
+            prop_assert_eq!(csr.kind(id), node.kind);
+            prop_assert_eq!(csr.fanins(id), node.fanins);
+            prop_assert_eq!(csr.fanins(id), n.fanins(id));
+            prop_assert_eq!(csr.fanouts(id), node.fanouts);
+            prop_assert_eq!(csr.fanouts(id), &fanouts[id.index()][..]);
+        }
+    }
+
+    /// The levelization stored in the arena at build time equals a naive
+    /// Kahn reference recomputed through the accessor API, and the eval
+    /// order is a valid topological order of the combinational logic.
+    #[test]
+    fn arena_levelization_matches_naive_kahn(seed in 0u64..10_000) {
+        let n = random_netlist(seed);
+        let lv = levelize(&n).expect("synthesized netlists are acyclic");
+        let reference = reference_levels(&n);
+        let csr = n.csr();
+        for (id, _) in n.iter() {
+            prop_assert_eq!(lv.level(id), reference[id.index()]);
+            prop_assert_eq!(csr.level(id), reference[id.index()]);
+        }
+        // Every gate appears in the order, after all its combinational
+        // fanins.
+        let mut pos = vec![usize::MAX; n.num_nodes()];
+        for (i, &id) in lv.order().iter().enumerate() {
+            pos[id.index()] = i;
+        }
+        for (id, node) in n.iter() {
+            if !node.kind.is_gate() {
+                continue;
+            }
+            prop_assert!(pos[id.index()] != usize::MAX, "gate missing from order");
+            for &f in node.fanins {
+                if n.node(f).kind.is_gate() {
+                    prop_assert!(pos[f.index()] < pos[id.index()]);
+                }
+            }
+        }
+    }
+
+    /// Round-tripping a random netlist through the `.bench` text keeps the
+    /// structural hash — parser, writer and builder agree on identity.
+    #[test]
+    fn bench_round_trip_preserves_structural_hash(seed in 0u64..10_000) {
+        let n = random_netlist(seed);
+        let text = seqlearn::netlist::writer::write_bench(&n);
+        let back = seqlearn::netlist::parser::parse_bench(n.name(), &text)
+            .expect("writer output parses");
+        prop_assert_eq!(
+            sla_snapshot::structural_hash(&n),
+            sla_snapshot::structural_hash(&back)
+        );
+    }
+}
+
+/// The CSR invariants hold on the layered scale generator too (multi-input
+/// gates, flip-flop feedback, forward references).
+#[test]
+fn csr_matches_reference_on_scale_circuit() {
+    let n = scale_circuit(&ScaleConfig {
+        layers: 4,
+        layer_width: 64,
+        inputs: 12,
+        flip_flops: 16,
+        outputs: 8,
+        ..ScaleConfig::default()
+    });
+    let csr = n.csr();
+    let fanouts = reference_fanouts(&n);
+    let reference = reference_levels(&n);
+    for (id, node) in n.iter() {
+        assert_eq!(csr.fanins(id), node.fanins);
+        assert_eq!(csr.fanouts(id), &fanouts[id.index()][..]);
+        assert_eq!(csr.level(id), reference[id.index()]);
+    }
+}
+
+/// The structural hashes of the five committed workloads, pinned to their
+/// pre-refactor values: node ids are declaration order, so moving to the
+/// arena must not disturb any snapshot or checkpoint taken before it.
+#[test]
+fn committed_workload_hashes_are_stable() {
+    use seqlearn::circuits as c;
+    let expected: [(&str, u64); 5] = [
+        ("figure1", 7915309555979576805),
+        ("s27", 9620679120185235317),
+        ("industrial", 13025877481270551139),
+        ("retimed", 14471254326006956454),
+        ("table5", 11976809643570696759),
+    ];
+    let nets = [
+        c::paper_style_figure1(),
+        c::s27(),
+        c::industrial_circuit(&Default::default()),
+        c::retimed_circuit(&Default::default()),
+        c::table5_circuit(&Default::default()),
+    ];
+    for ((label, hash), n) in expected.iter().zip(nets.iter()) {
+        assert_eq!(
+            sla_snapshot::structural_hash(n),
+            *hash,
+            "structural hash of the {label} workload moved"
+        );
+    }
+}
