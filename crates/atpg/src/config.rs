@@ -1,4 +1,11 @@
-//! ATPG configuration.
+//! ATPG options.
+//!
+//! [`AtpgOptions`] is the session-facing configuration type: construct it
+//! with [`AtpgOptions::builder`], tweak an existing value with
+//! [`AtpgOptions::to_builder`]. The struct is `#[non_exhaustive]` so new
+//! knobs can be added without breaking downstream construction sites; the
+//! fields stay public for reading. `AtpgConfig` remains as an alias for the
+//! pre-session name.
 
 use sla_core::WorkBudget;
 
@@ -26,8 +33,23 @@ impl LearningMode {
 }
 
 /// Tuning knobs of the sequential test generator.
+///
+/// Non-exhaustive: build one with [`AtpgOptions::builder`] (or start from an
+/// existing value with [`AtpgOptions::to_builder`]); the fields are public
+/// for reading only.
+///
+/// ```
+/// use sla_atpg::{AtpgOptions, LearningMode};
+///
+/// let opts = AtpgOptions::builder()
+///     .backtrack_limit(1000)
+///     .learning(LearningMode::ForbiddenValue)
+///     .build();
+/// assert_eq!(opts.backtrack_limit, 1000);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct AtpgConfig {
+#[non_exhaustive]
+pub struct AtpgOptions {
     /// Maximum number of backtracks per target fault (the paper uses 30 and
     /// 1000 in its two experiment stages).
     pub backtrack_limit: usize,
@@ -53,9 +75,12 @@ pub struct AtpgConfig {
     pub budget: WorkBudget,
 }
 
-impl Default for AtpgConfig {
+/// Pre-session name of [`AtpgOptions`], kept so existing code keeps reading.
+pub type AtpgConfig = AtpgOptions;
+
+impl Default for AtpgOptions {
     fn default() -> Self {
-        AtpgConfig {
+        AtpgOptions {
             backtrack_limit: 30,
             max_window: 8,
             max_decisions: 20_000,
@@ -67,31 +92,96 @@ impl Default for AtpgConfig {
     }
 }
 
-impl AtpgConfig {
-    /// Configuration with a given backtrack limit (other fields default).
-    pub fn with_backtrack_limit(limit: usize) -> Self {
-        AtpgConfig {
-            backtrack_limit: limit,
-            ..AtpgConfig::default()
+impl AtpgOptions {
+    /// Starts a builder from the defaults.
+    pub fn builder() -> AtpgOptionsBuilder {
+        AtpgOptionsBuilder {
+            opts: AtpgOptions::default(),
         }
     }
 
+    /// Starts a builder from this value, for tweaking a knob or two.
+    pub fn to_builder(self) -> AtpgOptionsBuilder {
+        AtpgOptionsBuilder { opts: self }
+    }
+
+    /// Configuration with a given backtrack limit (other fields default).
+    #[deprecated(note = "use AtpgOptions::builder().backtrack_limit(limit).build()")]
+    pub fn with_backtrack_limit(limit: usize) -> Self {
+        Self::builder().backtrack_limit(limit).build()
+    }
+
     /// Returns a copy using the given learning mode.
-    pub fn learning(mut self, mode: LearningMode) -> Self {
-        self.learning = mode;
-        self
+    #[deprecated(note = "use to_builder().learning(mode).build()")]
+    pub fn learning(self, mode: LearningMode) -> Self {
+        self.to_builder().learning(mode).build()
     }
 
     /// Returns a copy using the given time-frame window bound.
-    pub fn window(mut self, frames: usize) -> Self {
-        self.max_window = frames.max(1);
-        self
+    #[deprecated(note = "use to_builder().window(frames).build()")]
+    pub fn window(self, frames: usize) -> Self {
+        self.to_builder().window(frames).build()
     }
 
     /// Returns a copy using the given work budget.
-    pub fn budget(mut self, budget: WorkBudget) -> Self {
-        self.budget = budget;
+    #[deprecated(note = "use to_builder().budget(budget).build()")]
+    pub fn budget(self, budget: WorkBudget) -> Self {
+        self.to_builder().budget(budget).build()
+    }
+}
+
+/// Builder for [`AtpgOptions`]; see [`AtpgOptions::builder`].
+#[derive(Debug, Clone, Copy)]
+pub struct AtpgOptionsBuilder {
+    opts: AtpgOptions,
+}
+
+impl AtpgOptionsBuilder {
+    /// Maximum backtracks per target fault.
+    pub fn backtrack_limit(mut self, limit: usize) -> Self {
+        self.opts.backtrack_limit = limit;
         self
+    }
+
+    /// Maximum time-frame window (clamped to at least one frame).
+    pub fn window(mut self, frames: usize) -> Self {
+        self.opts.max_window = frames.max(1);
+        self
+    }
+
+    /// Hard bound on decisions per fault.
+    pub fn max_decisions(mut self, decisions: usize) -> Self {
+        self.opts.max_decisions = decisions;
+        self
+    }
+
+    /// How learned relations are used.
+    pub fn learning(mut self, mode: LearningMode) -> Self {
+        self.opts.learning = mode;
+        self
+    }
+
+    /// Whether the time-frame window grows geometrically.
+    pub fn grow_window(mut self, grow: bool) -> Self {
+        self.opts.grow_window = grow;
+        self
+    }
+
+    /// Whether generated tests fault-simulate and drop the rest of the list.
+    pub fn fault_dropping(mut self, drop: bool) -> Self {
+        self.opts.fault_dropping = drop;
+        self
+    }
+
+    /// Deterministic work budget for the whole run.
+    pub fn budget(mut self, budget: WorkBudget) -> Self {
+        self.opts.budget = budget;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> AtpgOptions {
+        self.opts
     }
 }
 
@@ -101,7 +191,7 @@ mod tests {
 
     #[test]
     fn defaults_match_paper_first_stage() {
-        let c = AtpgConfig::default();
+        let c = AtpgOptions::default();
         assert_eq!(c.backtrack_limit, 30);
         assert_eq!(c.learning, LearningMode::None);
         assert!(c.fault_dropping);
@@ -110,16 +200,49 @@ mod tests {
     }
 
     #[test]
-    fn builder_style_modifiers() {
-        let c = AtpgConfig::with_backtrack_limit(1000)
+    fn builder_covers_every_knob() {
+        let c = AtpgOptions::builder()
+            .backtrack_limit(1000)
             .learning(LearningMode::ForbiddenValue)
             .window(0)
-            .budget(WorkBudget::units(100));
+            .max_decisions(77)
+            .grow_window(false)
+            .fault_dropping(false)
+            .budget(WorkBudget::units(100))
+            .build();
         assert_eq!(c.backtrack_limit, 1000);
         assert_eq!(c.budget, WorkBudget::units(100));
         assert_eq!(c.learning, LearningMode::ForbiddenValue);
-        assert_eq!(c.max_window, 1);
+        assert_eq!(c.max_window, 1, "window clamps to at least one frame");
+        assert_eq!(c.max_decisions, 77);
+        assert!(!c.grow_window);
+        assert!(!c.fault_dropping);
         assert!(LearningMode::ForbiddenValue.uses_learning());
         assert!(!LearningMode::None.uses_learning());
+    }
+
+    #[test]
+    fn to_builder_round_trips() {
+        let base = AtpgOptions::builder().backtrack_limit(5).build();
+        assert_eq!(base.to_builder().build(), base);
+        let tweaked = base.to_builder().window(2).build();
+        assert_eq!(tweaked.backtrack_limit, 5);
+        assert_eq!(tweaked.max_window, 2);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_forward_to_the_builder() {
+        let old = AtpgConfig::with_backtrack_limit(1000)
+            .learning(LearningMode::KnownValue)
+            .window(3)
+            .budget(WorkBudget::units(9));
+        let new = AtpgOptions::builder()
+            .backtrack_limit(1000)
+            .learning(LearningMode::KnownValue)
+            .window(3)
+            .budget(WorkBudget::units(9))
+            .build();
+        assert_eq!(old, new);
     }
 }

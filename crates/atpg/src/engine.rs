@@ -802,7 +802,7 @@ mod tests {
             .unwrap()
             .run(&faults);
         for mode in [LearningMode::ForbiddenValue, LearningMode::KnownValue] {
-            let run = AtpgEngine::new(&n, AtpgConfig::default().learning(mode))
+            let run = AtpgEngine::new(&n, AtpgConfig::builder().learning(mode).build())
                 .unwrap()
                 .with_learned(learned.clone())
                 .run(&faults);
@@ -825,10 +825,7 @@ mod tests {
         let with_drop = AtpgEngine::new(&n, AtpgConfig::default())
             .unwrap()
             .run(&faults);
-        let cfg = AtpgConfig {
-            fault_dropping: false,
-            ..AtpgConfig::default()
-        };
+        let cfg = AtpgConfig::builder().fault_dropping(false).build();
         let without_drop = AtpgEngine::new(&n, cfg).unwrap().run(&faults);
         assert!(with_drop.stats.sequences <= without_drop.stats.sequences);
         // Fault simulation of generated sequences can detect faults the
@@ -850,11 +847,10 @@ mod tests {
         );
         let faults = full_fault_list(&n);
         for dropping in [true, false] {
-            let config = AtpgConfig {
-                fault_dropping: dropping,
-                ..AtpgConfig::default()
-            }
-            .learning(LearningMode::ForbiddenValue);
+            let config = AtpgConfig::builder()
+                .fault_dropping(dropping)
+                .learning(LearningMode::ForbiddenValue)
+                .build();
             let engine = AtpgEngine::new(&n, config)
                 .unwrap()
                 .with_learned(learned.clone());
@@ -916,7 +912,7 @@ mod tests {
     fn stats_cover_the_whole_fault_list() {
         let n = sample();
         let faults = full_fault_list(&n);
-        let run = AtpgEngine::new(&n, AtpgConfig::with_backtrack_limit(100))
+        let run = AtpgEngine::new(&n, AtpgConfig::builder().backtrack_limit(100).build())
             .unwrap()
             .run(&faults);
         assert_eq!(run.stats.total_faults, faults.len());
@@ -939,8 +935,9 @@ mod tests {
             .status
             .contains(&FaultStatus::Aborted(AbortReason::Budget)));
 
-        let config =
-            AtpgConfig::default().budget(WorkBudget::units(unlimited.stats.budget_spent / 2));
+        let config = AtpgConfig::builder()
+            .budget(WorkBudget::units(unlimited.stats.budget_spent / 2))
+            .build();
         let engine = AtpgEngine::new(&n, config).unwrap();
         let reference = engine.run_with_threads(&faults, 1);
         assert!(
@@ -969,9 +966,12 @@ mod tests {
         }
 
         // A zero budget searches nothing: every non-tied fault is Budget.
-        let zero = AtpgEngine::new(&n, AtpgConfig::default().budget(WorkBudget::units(0)))
-            .unwrap()
-            .run_with_threads(&faults, 1);
+        let zero = AtpgEngine::new(
+            &n,
+            AtpgConfig::builder().budget(WorkBudget::units(0)).build(),
+        )
+        .unwrap()
+        .run_with_threads(&faults, 1);
         assert_eq!(zero.stats.budget_spent, 0);
         assert!(zero
             .status

@@ -51,7 +51,7 @@ pub mod learned;
 pub mod machines;
 pub mod tgen;
 
-pub use config::{AtpgConfig, LearningMode};
+pub use config::{AtpgConfig, AtpgOptions, AtpgOptionsBuilder, LearningMode};
 pub use engine::{AbortReason, AtpgEngine, AtpgRun, AtpgStats, FaultStatus, RunProgress};
 pub use learned::{ImplicationLayer, IncrementalLayer, LearnedData, LiteralAdjacency};
 pub use machines::{MachineMark, SearchMachines};

@@ -646,7 +646,7 @@ mod tests {
         let n = b.build().unwrap();
         // Proving redundancy requires exhausting the search space, which needs
         // the larger backtrack budget (the paper's second experiment stage).
-        let gen = generator(&n, AtpgConfig::with_backtrack_limit(1000));
+        let gen = generator(&n, AtpgConfig::builder().backtrack_limit(1000).build());
         let z = n.require("z").unwrap();
         let result = gen.generate(&Fault::output(z, true));
         assert_eq!(result.outcome, GenOutcome::Untestable);
@@ -655,11 +655,10 @@ mod tests {
     #[test]
     fn zero_backtrack_budget_aborts_hard_faults() {
         let n = pipelined();
-        let config = AtpgConfig {
-            backtrack_limit: 0,
-            max_decisions: 3,
-            ..AtpgConfig::default()
-        };
+        let config = AtpgConfig::builder()
+            .backtrack_limit(0)
+            .max_decisions(3)
+            .build();
         let gen = generator(&n, config);
         let g = n.require("g").unwrap();
         // With essentially no budget the generator must not claim untestable

@@ -16,9 +16,12 @@ fn frame_limit_sweep(c: &mut Criterion) {
             &frames,
             |b, &frames| {
                 b.iter(|| {
-                    SequentialLearner::new(&netlist, LearnConfig::default().with_max_frames(frames))
-                        .learn()
-                        .expect("learning succeeds")
+                    SequentialLearner::new(
+                        &netlist,
+                        LearnConfig::builder().max_frames(frames).build(),
+                    )
+                    .learn()
+                    .expect("learning succeeds")
                 })
             },
         );

@@ -28,7 +28,7 @@ fn atpg_with_and_without_learning(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("no_learning", |b| {
         b.iter(|| {
-            AtpgEngine::new(&netlist, AtpgConfig::with_backtrack_limit(30))
+            AtpgEngine::new(&netlist, AtpgConfig::builder().backtrack_limit(30).build())
                 .expect("levelizes")
                 .run(&faults)
         })
@@ -37,7 +37,10 @@ fn atpg_with_and_without_learning(c: &mut Criterion) {
         b.iter(|| {
             AtpgEngine::new(
                 &netlist,
-                AtpgConfig::with_backtrack_limit(30).learning(LearningMode::ForbiddenValue),
+                AtpgConfig::builder()
+                    .backtrack_limit(30)
+                    .learning(LearningMode::ForbiddenValue)
+                    .build(),
             )
             .expect("levelizes")
             .with_learned(learned.clone())
@@ -48,7 +51,10 @@ fn atpg_with_and_without_learning(c: &mut Criterion) {
         b.iter(|| {
             AtpgEngine::new(
                 &netlist,
-                AtpgConfig::with_backtrack_limit(30).learning(LearningMode::KnownValue),
+                AtpgConfig::builder()
+                    .backtrack_limit(30)
+                    .learning(LearningMode::KnownValue)
+                    .build(),
             )
             .expect("levelizes")
             .with_learned(learned.clone())
@@ -77,7 +83,10 @@ fn atpg_search_incremental(c: &mut Criterion) {
         b.iter(|| {
             AtpgEngine::new(
                 &netlist,
-                AtpgConfig::with_backtrack_limit(100).learning(LearningMode::ForbiddenValue),
+                AtpgConfig::builder()
+                    .backtrack_limit(100)
+                    .learning(LearningMode::ForbiddenValue)
+                    .build(),
             )
             .expect("levelizes")
             .with_learned(learned.clone())
@@ -104,7 +113,10 @@ fn atpg_thread_scaling(c: &mut Criterion) {
     );
     let engine = AtpgEngine::new(
         &netlist,
-        AtpgConfig::with_backtrack_limit(100).learning(LearningMode::ForbiddenValue),
+        AtpgConfig::builder()
+            .backtrack_limit(100)
+            .learning(LearningMode::ForbiddenValue)
+            .build(),
     )
     .expect("levelizes")
     .with_learned(learned);

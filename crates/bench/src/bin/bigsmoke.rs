@@ -107,12 +107,11 @@ fn main() -> ExitCode {
     // the budget applies, and the frame window is shortened — the smoke
     // exercises the injection machinery on the arena, not learning quality.
     let t_learn = wallclock::now();
-    let learn_cfg = LearnConfig {
-        budget: WorkBudget::units(256),
-        gate_equivalence: false,
-        max_frames: 8,
-        ..LearnConfig::default()
-    };
+    let learn_cfg = LearnConfig::builder()
+        .budget(WorkBudget::units(256))
+        .gate_equivalence(false)
+        .max_frames(8)
+        .build();
     let learned = match SequentialLearner::new(&netlist, learn_cfg).learn() {
         Ok(r) => r,
         Err(e) => {
@@ -131,7 +130,10 @@ fn main() -> ExitCode {
     let t_atpg = wallclock::now();
     let mut faults = collapsed_fault_list(&netlist);
     faults.truncate(24);
-    let config = AtpgConfig::with_backtrack_limit(8).budget(WorkBudget::units(50_000));
+    let config = AtpgConfig::builder()
+        .backtrack_limit(8)
+        .budget(WorkBudget::units(50_000))
+        .build();
     let engine = match AtpgEngine::new(&netlist, config) {
         Ok(e) => e,
         Err(e) => {

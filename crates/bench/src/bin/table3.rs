@@ -39,10 +39,9 @@ fn main() {
             );
             continue;
         }
-        let config = LearnConfig {
-            max_multi_node_targets: if opts.full { 0 } else { 400 },
-            ..LearnConfig::default()
-        };
+        let config = LearnConfig::builder()
+            .max_multi_node_targets(if opts.full { 0 } else { 400 })
+            .build();
         let result = SequentialLearner::new(&netlist, config)
             .learn()
             .expect("learning succeeds on generated circuits");

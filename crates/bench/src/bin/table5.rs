@@ -25,7 +25,10 @@ fn run_mode(
     mode: LearningMode,
     learned: &LearnedData,
 ) -> ModeResult {
-    let config = AtpgConfig::with_backtrack_limit(limit).learning(mode);
+    let config = AtpgConfig::builder()
+        .backtrack_limit(limit)
+        .learning(mode)
+        .build();
     let engine = AtpgEngine::new(netlist, config).expect("netlist levelizes");
     let engine = if mode.uses_learning() {
         engine.with_learned(learned.clone())

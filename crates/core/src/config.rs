@@ -1,4 +1,11 @@
 //! Configuration of the sequential learning engine.
+//!
+//! [`LearnOptions`] is the session-facing configuration type: construct it
+//! with [`LearnOptions::builder`] or one of the named presets, tweak an
+//! existing value with [`LearnOptions::to_builder`]. The struct is
+//! `#[non_exhaustive]` so new knobs can be added without breaking downstream
+//! construction sites; the fields stay public for reading. `LearnConfig`
+//! remains as an alias for the pre-session name.
 
 use crate::budget::WorkBudget;
 use sla_sim::EquivConfig;
@@ -8,8 +15,20 @@ use sla_sim::EquivConfig;
 /// The defaults reproduce the configuration used in the paper's experiments:
 /// 50-frame simulation, single- and multiple-node learning, gate-equivalence
 /// assistance, per-clock-class analysis and the real-circuit propagation rules.
+///
+/// Non-exhaustive: build one with [`LearnOptions::builder`] or a preset like
+/// [`LearnOptions::paper`]; the fields are public for reading only.
+///
+/// ```
+/// use sla_core::LearnOptions;
+///
+/// let opts = LearnOptions::builder().max_frames(20).cross_frame(true).build();
+/// assert_eq!(opts.max_frames, 20);
+/// assert!(opts.learn_cross_frame);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
-pub struct LearnConfig {
+#[non_exhaustive]
+pub struct LearnOptions {
     /// Maximum number of time frames a forward simulation may span (paper: 50).
     pub max_frames: usize,
     /// Run the multiple-node learning phase (paper §3.1, second half).
@@ -45,9 +64,12 @@ pub struct LearnConfig {
     pub budget: WorkBudget,
 }
 
-impl Default for LearnConfig {
+/// Pre-session name of [`LearnOptions`], kept so existing code keeps reading.
+pub type LearnConfig = LearnOptions;
+
+impl Default for LearnOptions {
     fn default() -> Self {
-        LearnConfig {
+        LearnOptions {
             max_frames: 50,
             multiple_node: true,
             gate_equivalence: true,
@@ -62,49 +84,127 @@ impl Default for LearnConfig {
     }
 }
 
-impl LearnConfig {
+impl LearnOptions {
+    /// Starts a builder from the defaults.
+    pub fn builder() -> LearnOptionsBuilder {
+        LearnOptionsBuilder {
+            opts: LearnOptions::default(),
+        }
+    }
+
+    /// Starts a builder from this value, for tweaking a knob or two.
+    pub fn to_builder(&self) -> LearnOptionsBuilder {
+        LearnOptionsBuilder { opts: self.clone() }
+    }
+
     /// The paper's reference configuration (identical to `default()`).
     pub fn paper() -> Self {
-        LearnConfig::default()
+        LearnOptions::default()
     }
 
     /// Single-node learning only (the first ablation of Table 2).
     pub fn single_node_only() -> Self {
-        LearnConfig {
-            multiple_node: false,
-            gate_equivalence: false,
-            ..LearnConfig::default()
-        }
+        Self::builder()
+            .multiple_node(false)
+            .gate_equivalence(false)
+            .build()
     }
 
     /// Single- and multiple-node learning without gate-equivalence assistance
     /// (the second ablation of Table 2).
     pub fn without_equivalence() -> Self {
-        LearnConfig {
-            gate_equivalence: false,
-            ..LearnConfig::default()
-        }
+        Self::builder().gate_equivalence(false).build()
     }
 
     /// Purely combinational learning: simulation confined to a single frame.
     /// Used to isolate what only sequential analysis can extract.
     pub fn combinational_only() -> Self {
-        LearnConfig {
-            max_frames: 1,
-            ..LearnConfig::default()
-        }
+        Self::builder().max_frames(1).build()
     }
 
     /// Sets the frame limit, returning the modified configuration.
-    pub fn with_max_frames(mut self, frames: usize) -> Self {
-        self.max_frames = frames.max(1);
-        self
+    #[deprecated(note = "use to_builder().max_frames(frames).build()")]
+    pub fn with_max_frames(self, frames: usize) -> Self {
+        self.to_builder().max_frames(frames).build()
     }
 
     /// Sets the work budget, returning the modified configuration.
-    pub fn with_budget(mut self, budget: WorkBudget) -> Self {
-        self.budget = budget;
+    #[deprecated(note = "use to_builder().budget(budget).build()")]
+    pub fn with_budget(self, budget: WorkBudget) -> Self {
+        self.to_builder().budget(budget).build()
+    }
+}
+
+/// Builder for [`LearnOptions`]; see [`LearnOptions::builder`].
+#[derive(Debug, Clone)]
+pub struct LearnOptionsBuilder {
+    opts: LearnOptions,
+}
+
+impl LearnOptionsBuilder {
+    /// Frame limit of forward simulation (clamped to at least one frame).
+    pub fn max_frames(mut self, frames: usize) -> Self {
+        self.opts.max_frames = frames.max(1);
         self
+    }
+
+    /// Whether the multiple-node learning phase runs.
+    pub fn multiple_node(mut self, enabled: bool) -> Self {
+        self.opts.multiple_node = enabled;
+        self
+    }
+
+    /// Whether gate-equivalence assistance runs.
+    pub fn gate_equivalence(mut self, enabled: bool) -> Self {
+        self.opts.gate_equivalence = enabled;
+        self
+    }
+
+    /// Whether sequential elements are partitioned into clock classes.
+    pub fn partition_by_clock_class(mut self, enabled: bool) -> Self {
+        self.opts.partition_by_clock_class = enabled;
+        self
+    }
+
+    /// Whether the set/reset and multi-port-latch propagation rules apply.
+    pub fn respect_seq_rules(mut self, enabled: bool) -> Self {
+        self.opts.respect_seq_rules = enabled;
+        self
+    }
+
+    /// Whether cross-frame relations are also collected.
+    pub fn cross_frame(mut self, enabled: bool) -> Self {
+        self.opts.learn_cross_frame = enabled;
+        self
+    }
+
+    /// Bounded transitive-closure limit (0 disables).
+    pub fn closure_limit(mut self, limit: usize) -> Self {
+        self.opts.closure_limit = limit;
+        self
+    }
+
+    /// Configuration of the gate-equivalence detection pass.
+    pub fn equiv_config(mut self, config: EquivConfig) -> Self {
+        self.opts.equiv_config = config;
+        self
+    }
+
+    /// Upper bound on multiple-node learning targets (0 = no bound).
+    pub fn max_multi_node_targets(mut self, bound: usize) -> Self {
+        self.opts.max_multi_node_targets = bound;
+        self
+    }
+
+    /// Deterministic work budget for the whole learning run.
+    pub fn budget(mut self, budget: WorkBudget) -> Self {
+        self.opts.budget = budget;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> LearnOptions {
+        self.opts
     }
 }
 
@@ -114,31 +214,64 @@ mod tests {
 
     #[test]
     fn default_matches_paper_settings() {
-        let c = LearnConfig::default();
+        let c = LearnOptions::default();
         assert_eq!(c.max_frames, 50);
         assert!(c.multiple_node);
         assert!(c.gate_equivalence);
         assert!(c.partition_by_clock_class);
         assert!(c.respect_seq_rules);
         assert!(!c.learn_cross_frame);
-        assert_eq!(LearnConfig::paper(), c);
+        assert_eq!(LearnOptions::paper(), c);
     }
 
     #[test]
     fn ablation_constructors() {
-        assert!(!LearnConfig::single_node_only().multiple_node);
-        assert!(!LearnConfig::single_node_only().gate_equivalence);
-        assert!(!LearnConfig::without_equivalence().gate_equivalence);
-        assert!(LearnConfig::without_equivalence().multiple_node);
-        assert_eq!(LearnConfig::combinational_only().max_frames, 1);
-        assert_eq!(LearnConfig::default().with_max_frames(0).max_frames, 1);
-        assert_eq!(LearnConfig::default().with_max_frames(7).max_frames, 7);
+        assert!(!LearnOptions::single_node_only().multiple_node);
+        assert!(!LearnOptions::single_node_only().gate_equivalence);
+        assert!(!LearnOptions::without_equivalence().gate_equivalence);
+        assert!(LearnOptions::without_equivalence().multiple_node);
+        assert_eq!(LearnOptions::combinational_only().max_frames, 1);
+        assert_eq!(LearnOptions::builder().max_frames(0).build().max_frames, 1);
+        assert_eq!(LearnOptions::builder().max_frames(7).build().max_frames, 7);
     }
 
     #[test]
-    fn budget_defaults_to_unlimited() {
-        assert!(LearnConfig::default().budget.is_unlimited());
-        let c = LearnConfig::default().with_budget(WorkBudget::units(5));
+    fn builder_covers_every_knob() {
+        let c = LearnOptions::builder()
+            .max_frames(9)
+            .multiple_node(false)
+            .gate_equivalence(false)
+            .partition_by_clock_class(false)
+            .respect_seq_rules(false)
+            .cross_frame(true)
+            .closure_limit(3)
+            .equiv_config(EquivConfig::default())
+            .max_multi_node_targets(11)
+            .budget(WorkBudget::units(5))
+            .build();
+        assert_eq!(c.max_frames, 9);
+        assert!(!c.multiple_node);
+        assert!(!c.gate_equivalence);
+        assert!(!c.partition_by_clock_class);
+        assert!(!c.respect_seq_rules);
+        assert!(c.learn_cross_frame);
+        assert_eq!(c.closure_limit, 3);
+        assert_eq!(c.max_multi_node_targets, 11);
         assert_eq!(c.budget, WorkBudget::units(5));
+        assert_eq!(c.to_builder().build(), c, "to_builder round-trips");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_forward_to_the_builder() {
+        assert_eq!(
+            LearnConfig::default().with_max_frames(0).max_frames,
+            LearnOptions::builder().max_frames(0).build().max_frames
+        );
+        assert_eq!(
+            LearnConfig::default().with_budget(WorkBudget::units(5)),
+            LearnOptions::builder().budget(WorkBudget::units(5)).build()
+        );
+        assert!(LearnConfig::default().budget.is_unlimited());
     }
 }

@@ -556,7 +556,7 @@ mod tests {
         );
 
         // A budget of two units processes exactly two stems and nothing else.
-        let tight = LearnConfig::default().with_budget(WorkBudget::units(2));
+        let tight = LearnConfig::builder().budget(WorkBudget::units(2)).build();
         let learner = SequentialLearner::new(&n, tight);
         let limited = learner.learn().unwrap();
         assert!(limited.stats.budget_exhausted);
@@ -581,7 +581,9 @@ mod tests {
 
         // A budget covering all the work changes nothing and reports no
         // exhaustion.
-        let roomy = LearnConfig::default().with_budget(WorkBudget::units(1_000_000));
+        let roomy = LearnConfig::builder()
+            .budget(WorkBudget::units(1_000_000))
+            .build();
         let ample = SequentialLearner::new(&n, roomy).learn().unwrap();
         assert!(!ample.stats.budget_exhausted);
         assert_eq!(
@@ -597,15 +599,9 @@ mod tests {
             .learn()
             .unwrap();
         assert!(without.cross_frame.is_empty());
-        let with = SequentialLearner::new(
-            &n,
-            LearnConfig {
-                learn_cross_frame: true,
-                ..LearnConfig::default()
-            },
-        )
-        .learn()
-        .unwrap();
+        let with = SequentialLearner::new(&n, LearnConfig::builder().cross_frame(true).build())
+            .learn()
+            .unwrap();
         assert!(!with.cross_frame.is_empty());
         assert_eq!(with.stats.cross_frame, with.cross_frame.len());
     }

@@ -70,7 +70,7 @@ pub mod single_node;
 pub mod tie;
 
 pub use budget::WorkBudget;
-pub use config::LearnConfig;
+pub use config::{LearnConfig, LearnOptions, LearnOptionsBuilder};
 pub use db::ImplicationDb;
 pub use engine::{LearnResult, LearnStats, SequentialLearner};
 pub use relation::{CrossImplication, Implication, Literal, RelationKind};

@@ -30,6 +30,7 @@
 //! # }
 //! ```
 
+mod eco;
 mod error;
 mod gate;
 mod netlist;
@@ -42,6 +43,7 @@ pub mod stems;
 pub mod wallclock;
 pub mod writer;
 
+pub use eco::DirtyCone;
 pub use error::NetlistError;
 pub use gate::{GateType, NodeKind};
 pub use hash::{FastHashMap, FastHashSet, FastHasher};

@@ -125,7 +125,7 @@ impl<'a> NetlistCsr<'a> {
 /// deterministic), so a million-node netlist stores its names in three flat
 /// allocations instead of a million `String`s.
 #[derive(Debug, Clone, Default)]
-struct NameTable {
+pub(crate) struct NameTable {
     buf: String,
     spans: Vec<(u32, u32)>,
     /// Open-addressing table of `sym + 1` (0 = empty); capacity is a power
@@ -152,13 +152,13 @@ impl NameTable {
     }
 
     /// The interned string of `sym`.
-    fn get(&self, sym: u32) -> &str {
+    pub(crate) fn get(&self, sym: u32) -> &str {
         let (s, e) = self.spans[sym as usize];
         &self.buf[s as usize..e as usize]
     }
 
     /// Finds the symbol of `name` without inserting.
-    fn lookup(&self, name: &str) -> Option<u32> {
+    pub(crate) fn lookup(&self, name: &str) -> Option<u32> {
         if self.table.is_empty() {
             return None;
         }
@@ -178,7 +178,7 @@ impl NameTable {
     }
 
     /// Interns `name`, returning its (new or existing) symbol.
-    fn intern(&mut self, name: &str) -> u32 {
+    pub(crate) fn intern(&mut self, name: &str) -> u32 {
         if (self.spans.len() + 1) * 2 > self.table.len() {
             self.grow();
         }
@@ -268,30 +268,30 @@ pub struct NetlistStats {
 /// order and per-node levels are computed once at build time.
 #[derive(Debug, Clone)]
 pub struct Netlist {
-    name: String,
-    kinds: Vec<NodeKind>,
-    names: NameTable,
+    pub(crate) name: String,
+    pub(crate) kinds: Vec<NodeKind>,
+    pub(crate) names: NameTable,
     /// Node id -> name symbol.
-    node_sym: Vec<u32>,
+    pub(crate) node_sym: Vec<u32>,
     /// Name symbol -> node id (every post-build symbol is defined).
-    def: Vec<u32>,
-    fanin_off: Vec<u32>,
-    fanin_edges: Vec<NodeId>,
-    fanout_off: Vec<u32>,
-    fanout_edges: Vec<NodeId>,
+    pub(crate) def: Vec<u32>,
+    pub(crate) fanin_off: Vec<u32>,
+    pub(crate) fanin_edges: Vec<NodeId>,
+    pub(crate) fanout_off: Vec<u32>,
+    pub(crate) fanout_edges: Vec<NodeId>,
     /// Logic level per node (all zeros when `acyclic` is false).
-    level: Vec<u32>,
+    pub(crate) level: Vec<u32>,
     /// Combinational gates in levelized (fanin-before-fanout) order.
-    eval_order: Vec<NodeId>,
-    max_level: u32,
-    acyclic: bool,
-    num_gates: usize,
+    pub(crate) eval_order: Vec<NodeId>,
+    pub(crate) max_level: u32,
+    pub(crate) acyclic: bool,
+    pub(crate) num_gates: usize,
     /// Number of primary-output uses per node (for stem detection).
-    po_count: Vec<u32>,
-    inputs: Vec<NodeId>,
-    outputs: Vec<NodeId>,
-    seq_elems: Vec<NodeId>,
-    clocks: Vec<String>,
+    pub(crate) po_count: Vec<u32>,
+    pub(crate) inputs: Vec<NodeId>,
+    pub(crate) outputs: Vec<NodeId>,
+    pub(crate) seq_elems: Vec<NodeId>,
+    pub(crate) clocks: Vec<String>,
 }
 
 impl PartialEq for Netlist {
@@ -460,6 +460,51 @@ impl Netlist {
             .unwrap_or_else(|| "<unknown>".to_string())
     }
 
+    /// Structural hash of the netlist: name, node arena (kind, fanins,
+    /// names), input/output lists and clock table. Two netlists with the
+    /// same hash are the same circuit for caching and resume purposes; any
+    /// non-trivial [ECO edit](crate::DirtyCone) changes the hash.
+    pub fn structural_hash(&self) -> u64 {
+        let mut h = FastHasher::default();
+        h.write(self.name.as_bytes());
+        h.write_usize(self.num_nodes());
+        for (_, node) in self.iter() {
+            h.write(node.name.as_bytes());
+            match &node.kind {
+                NodeKind::Input => h.write_u8(0),
+                NodeKind::Gate(g) => {
+                    h.write_u8(1);
+                    h.write(g.bench_name().as_bytes());
+                }
+                NodeKind::Seq(info) => {
+                    h.write_u8(2);
+                    h.write_u8(info.kind as u8);
+                    h.write_usize(info.clock.index());
+                    h.write_u8(info.edge as u8);
+                    h.write_u8(info.set as u8);
+                    h.write_u8(info.reset as u8);
+                    h.write_u8(info.ports);
+                }
+            }
+            h.write_usize(node.fanins.len());
+            for f in node.fanins {
+                h.write_u32(f.0);
+            }
+        }
+        h.write_usize(self.inputs.len());
+        for i in &self.inputs {
+            h.write_u32(i.0);
+        }
+        h.write_usize(self.outputs.len());
+        for o in &self.outputs {
+            h.write_u32(o.0);
+        }
+        for c in &self.clocks {
+            h.write(c.as_bytes());
+        }
+        h.finish()
+    }
+
     /// Summary statistics.
     pub fn stats(&self) -> NetlistStats {
         let mut s = NetlistStats {
@@ -545,7 +590,7 @@ impl Netlist {
     }
 }
 
-const NONE: u32 = u32::MAX;
+pub(crate) const NONE: u32 = u32::MAX;
 
 /// Incremental, by-name construction of a [`Netlist`].
 ///
@@ -828,7 +873,7 @@ impl NetlistBuilder {
 /// One Kahn sweep over the CSR. Returns `(level, eval_order, max_level,
 /// acyclic)`; the order and levels are bit-identical to the pre-arena
 /// `levelize` (same seed order, same FIFO discipline, same level recurrence).
-fn levelize_arena(
+pub(crate) fn levelize_arena(
     kinds: &[NodeKind],
     fanin_off: &[u32],
     fanin_edges: &[NodeId],

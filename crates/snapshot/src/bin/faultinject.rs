@@ -100,10 +100,7 @@ fn check_panic(netlist: &Netlist, faults: &[Fault], plan: InjectPlan) -> Result<
     // Fault dropping could classify the target from an earlier test before
     // its own search runs, in which case the injected panic never fires;
     // disable it so every seed actually exercises the quarantine.
-    let config = AtpgConfig {
-        fault_dropping: false,
-        ..AtpgConfig::default()
-    };
+    let config = AtpgConfig::builder().fault_dropping(false).build();
     let mut runs = Vec::new();
     for threads in THREADS {
         runs.push(run_with(netlist, faults, config, Some(target), threads)?);
@@ -190,7 +187,9 @@ fn check_budget(netlist: &Netlist, faults: &[Fault], plan: InjectPlan) -> Result
         return Err("workload spent no budget; harness cannot exhaust it".to_string());
     }
     let units = 1 + plan.pick(total as usize) as u64;
-    let config = AtpgConfig::default().budget(WorkBudget::units(units));
+    let config = AtpgConfig::builder()
+        .budget(WorkBudget::units(units))
+        .build();
     let mut runs = Vec::new();
     for threads in THREADS {
         runs.push(run_with(netlist, faults, config, None, threads)?);

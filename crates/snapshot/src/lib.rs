@@ -32,14 +32,15 @@
 //! layout change and old versions are **not** migrated — a snapshot is a
 //! resumable cache, not an archival format; a stale one costs a recompute.
 
+pub mod codec;
 pub mod inject;
 
+use codec::Writer;
 use sla_atpg::{
-    AbortReason, AtpgConfig, AtpgEngine, AtpgRun, FaultStatus, LearnedData, LearningMode,
-    RunProgress,
+    AbortReason, AtpgConfig, AtpgEngine, AtpgRun, FaultStatus, LearnedData, RunProgress,
 };
-use sla_core::{CrossImplication, ImplicationDb, Literal, WorkBudget};
-use sla_netlist::{FastHasher, Netlist, NetlistError, NodeId, NodeKind};
+use sla_core::{CrossImplication, ImplicationDb};
+use sla_netlist::{FastHasher, Netlist, NetlistError, NodeId};
 use sla_sim::{Fault, FaultSite, Logic3, TestSequence};
 use std::fmt;
 use std::hash::Hasher;
@@ -101,50 +102,23 @@ impl fmt::Display for SnapshotError {
     }
 }
 
-impl std::error::Error for SnapshotError {}
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Structural hash of a netlist: name, node arena (kind, fanins, names),
 /// input/output lists and clock table. Two netlists with the same hash are
 /// the same circuit for resume purposes.
+///
+/// Thin delegate of [`Netlist::structural_hash`], kept so snapshot callers
+/// need not know the hash moved into the netlist crate.
 pub fn structural_hash(netlist: &Netlist) -> u64 {
-    let mut h = FastHasher::default();
-    h.write(netlist.name().as_bytes());
-    h.write_usize(netlist.num_nodes());
-    for (_, node) in netlist.iter() {
-        h.write(node.name.as_bytes());
-        match &node.kind {
-            NodeKind::Input => h.write_u8(0),
-            NodeKind::Gate(g) => {
-                h.write_u8(1);
-                h.write(g.bench_name().as_bytes());
-            }
-            NodeKind::Seq(info) => {
-                h.write_u8(2);
-                h.write_u8(info.kind as u8);
-                h.write_usize(info.clock.index());
-                h.write_u8(info.edge as u8);
-                h.write_u8(info.set as u8);
-                h.write_u8(info.reset as u8);
-                h.write_u8(info.ports);
-            }
-        }
-        h.write_usize(node.fanins.len());
-        for f in node.fanins {
-            h.write_u32(f.0);
-        }
-    }
-    h.write_usize(netlist.inputs().len());
-    for i in netlist.inputs() {
-        h.write_u32(i.0);
-    }
-    h.write_usize(netlist.outputs().len());
-    for o in netlist.outputs() {
-        h.write_u32(o.0);
-    }
-    for c in netlist.clocks() {
-        h.write(c.as_bytes());
-    }
-    h.finish()
+    netlist.structural_hash()
 }
 
 /// Hash of a fault list (site, pin and polarity of every fault, in order).
@@ -226,39 +200,9 @@ impl AtpgSnapshot {
         w.u64(self.netlist_hash);
         w.u64(self.faults_hash);
         // Configuration (budget included: a resumed run keeps its limits).
-        w.u64(self.config.backtrack_limit as u64);
-        w.u64(self.config.max_window as u64);
-        w.u64(self.config.max_decisions as u64);
-        w.u8(match self.config.learning {
-            LearningMode::None => 0,
-            LearningMode::ForbiddenValue => 1,
-            LearningMode::KnownValue => 2,
-        });
-        w.u8(self.config.grow_window as u8);
-        w.u8(self.config.fault_dropping as u8);
-        w.u64(self.config.budget.limit());
+        codec::write_atpg_options(&mut w, &self.config);
         // Learned data, in insertion order.
-        w.u32(self.implications.len() as u32);
-        for (imp, seq) in &self.implications {
-            w.u32(imp.antecedent.node.0);
-            w.u8(imp.antecedent.value as u8);
-            w.u32(imp.consequent.node.0);
-            w.u8(imp.consequent.value as u8);
-            w.u8(*seq as u8);
-        }
-        w.u32(self.cross_frame.len() as u32);
-        for c in &self.cross_frame {
-            w.u32(c.antecedent.node.0);
-            w.u8(c.antecedent.value as u8);
-            w.u32(c.consequent.node.0);
-            w.u8(c.consequent.value as u8);
-            w.u32(c.offset as u32);
-        }
-        w.u32(self.tied.len() as u32);
-        for (node, value) in &self.tied {
-            w.u32(node.0);
-            w.u8(*value as u8);
-        }
+        codec::write_relations(&mut w, &self.implications, &self.cross_frame, &self.tied);
         // Progress.
         w.u64(self.next_fault as u64);
         w.u32(self.status.len() as u32);
@@ -307,86 +251,12 @@ impl AtpgSnapshot {
     /// truncation, checksum mismatch, out-of-range fields or trailing bytes.
     /// Never panics on arbitrary input.
     pub fn decode(bytes: &[u8]) -> Result<AtpgSnapshot, SnapshotError> {
-        if bytes.len() < MAGIC.len() {
-            return Err(SnapshotError::Truncated);
-        }
-        if &bytes[..MAGIC.len()] != MAGIC {
-            return Err(SnapshotError::BadMagic);
-        }
-        // Header (magic + version), then checksum framing, then payload.
-        let mut r = Reader::new(bytes);
-        r.skip(MAGIC.len())?;
-        let version = r.u32()?;
-        if version != FORMAT_VERSION {
-            return Err(SnapshotError::UnsupportedVersion {
-                found: version,
-                supported: FORMAT_VERSION,
-            });
-        }
-        if bytes.len() < MAGIC.len() + 4 + 8 {
-            return Err(SnapshotError::Truncated);
-        }
-        let body_len = bytes.len() - 8;
-        let mut h = FastHasher::default();
-        h.write(&bytes[..body_len]);
-        let want = u64::from_le_bytes(
-            bytes[body_len..]
-                .try_into()
-                .map_err(|_| SnapshotError::Truncated)?,
-        );
-        if h.finish() != want {
-            return Err(SnapshotError::ChecksumMismatch);
-        }
-        let mut r = Reader::with_limit(bytes, MAGIC.len() + 4, body_len);
+        let mut r = codec::check_frame(bytes, MAGIC, FORMAT_VERSION)?;
 
         let netlist_hash = r.u64()?;
         let faults_hash = r.u64()?;
-        let backtrack_limit = r.u64()? as usize;
-        let max_window = r.u64()? as usize;
-        let max_decisions = r.u64()? as usize;
-        let learning = match r.u8()? {
-            0 => LearningMode::None,
-            1 => LearningMode::ForbiddenValue,
-            2 => LearningMode::KnownValue,
-            _ => return Err(SnapshotError::Corrupt("learning mode")),
-        };
-        let grow_window = r.bool()?;
-        let fault_dropping = r.bool()?;
-        let budget = WorkBudget::units(r.u64()?);
-        let config = AtpgConfig {
-            backtrack_limit,
-            max_window,
-            max_decisions,
-            learning,
-            grow_window,
-            fault_dropping,
-            budget,
-        };
-
-        let n = r.count()?;
-        let mut implications = Vec::with_capacity(n);
-        for _ in 0..n {
-            let ant = Literal::new(NodeId(r.u32()?), r.bool()?);
-            let con = Literal::new(NodeId(r.u32()?), r.bool()?);
-            implications.push((sla_core::Implication::new(ant, con), r.bool()?));
-        }
-        let n = r.count()?;
-        let mut cross_frame = Vec::with_capacity(n);
-        for _ in 0..n {
-            let antecedent = Literal::new(NodeId(r.u32()?), r.bool()?);
-            let consequent = Literal::new(NodeId(r.u32()?), r.bool()?);
-            let offset = r.u32()? as i32;
-            cross_frame.push(CrossImplication {
-                antecedent,
-                consequent,
-                offset,
-            });
-        }
-        let n = r.count()?;
-        let mut tied = Vec::with_capacity(n);
-        for _ in 0..n {
-            tied.push((NodeId(r.u32()?), r.bool()?));
-        }
+        let config = codec::read_atpg_options(&mut r)?;
+        let (implications, cross_frame, tied) = codec::read_relations(&mut r)?;
 
         let next_fault = r.u64()? as usize;
         let n = r.count()?;
@@ -541,125 +411,6 @@ pub fn resume_or_fresh(
             ),
             Err(structural) => (AtpgRun::default(), Some(SnapshotError::Netlist(structural))),
         },
-    }
-}
-
-/// Append-only byte sink of the codec.
-struct Writer {
-    buf: Vec<u8>,
-}
-
-impl Writer {
-    fn new() -> Writer {
-        Writer { buf: Vec::new() }
-    }
-
-    fn bytes_raw(&mut self, b: &[u8]) {
-        self.buf.extend_from_slice(b);
-    }
-
-    fn u8(&mut self, v: u8) {
-        self.buf.push(v);
-    }
-
-    fn u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    fn u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    fn str(&mut self, s: &str) {
-        self.u32(s.len() as u32);
-        self.bytes_raw(s.as_bytes());
-    }
-
-    /// Appends the checksum and returns the finished snapshot bytes.
-    fn seal(mut self) -> Vec<u8> {
-        let mut h = FastHasher::default();
-        h.write(&self.buf);
-        let sum = h.finish();
-        self.buf.extend_from_slice(&sum.to_le_bytes());
-        self.buf
-    }
-}
-
-/// Bounds-checked byte source of the codec.
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-    end: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn new(bytes: &'a [u8]) -> Reader<'a> {
-        Reader {
-            bytes,
-            pos: 0,
-            end: bytes.len(),
-        }
-    }
-
-    fn with_limit(bytes: &'a [u8], pos: usize, end: usize) -> Reader<'a> {
-        Reader { bytes, pos, end }
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
-        if self.end - self.pos < n {
-            return Err(SnapshotError::Truncated);
-        }
-        let s = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
-    }
-
-    fn skip(&mut self, n: usize) -> Result<(), SnapshotError> {
-        self.take(n).map(|_| ())
-    }
-
-    fn u8(&mut self) -> Result<u8, SnapshotError> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn bool(&mut self) -> Result<bool, SnapshotError> {
-        match self.u8()? {
-            0 => Ok(false),
-            1 => Ok(true),
-            _ => Err(SnapshotError::Corrupt("boolean")),
-        }
-    }
-
-    fn u32(&mut self) -> Result<u32, SnapshotError> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-    }
-
-    fn u64(&mut self) -> Result<u64, SnapshotError> {
-        let b = self.take(8)?;
-        Ok(u64::from_le_bytes([
-            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-        ]))
-    }
-
-    /// A `u32` list count, sanity-bounded by the bytes remaining so a
-    /// corrupt count cannot trigger a huge allocation.
-    fn count(&mut self) -> Result<usize, SnapshotError> {
-        let n = self.u32()? as usize;
-        if n > self.end - self.pos {
-            return Err(SnapshotError::Truncated);
-        }
-        Ok(n)
-    }
-
-    fn str(&mut self) -> Result<String, SnapshotError> {
-        let n = self.count()?;
-        let bytes = self.take(n)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| SnapshotError::Corrupt("string"))
-    }
-
-    fn at_end(&self) -> bool {
-        self.pos == self.end
     }
 }
 

@@ -1,0 +1,225 @@
+//! `service-smoke`: end-to-end check of the `sla-serve` service layer.
+//!
+//! Runs the committed table5 cross-cell workload standalone through the
+//! session API, then starts an `sla-serve` child on loopback with a fresh
+//! store and sends the same workload twice over one connection:
+//!
+//! - request 1 must miss the cache, spend learning work and stream verdicts
+//!   byte-identical to the standalone run;
+//! - request 2 must hit the cache, spend **zero** learning work units and
+//!   stream the same bytes again.
+//!
+//! Exits 0 when every check holds, 1 with a diagnostic otherwise. CI runs
+//! this as the `service-smoke` job.
+
+use sla_atpg::{AtpgOptions, FaultStatus, LearningMode};
+use sla_circuits::{table5_circuit, Table5Config};
+use sla_core::LearnOptions;
+use sla_sim::collapsed_fault_list;
+use sla_store::proto::{self, Message, Request, Summary};
+use sla_store::{CacheOutcome, Session};
+use std::io::{BufRead, BufReader, BufWriter};
+use std::net::TcpStream;
+use std::process::{Child, Command, ExitCode, Stdio};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(report) => {
+            println!("service-smoke ok: {report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("service-smoke: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Renders a verdict stream as comparable lines.
+fn verdict_lines(verdicts: &[(u32, FaultStatus)]) -> String {
+    let mut out = String::new();
+    for (index, status) in verdicts {
+        out.push_str(&format!("fault {index}: {status:?}\n"));
+    }
+    out
+}
+
+fn learn_options() -> LearnOptions {
+    LearnOptions::builder().cross_frame(true).build()
+}
+
+fn atpg_options() -> AtpgOptions {
+    AtpgOptions::builder()
+        .backtrack_limit(100)
+        .learning(LearningMode::ForbiddenValue)
+        .build()
+}
+
+/// Sends one request and collects the streamed verdicts plus the summary.
+fn roundtrip(
+    input: &mut impl BufRead,
+    output: &mut BufWriter<&TcpStream>,
+    request: &Message,
+) -> Result<(Vec<(u32, FaultStatus)>, Summary), String> {
+    proto::write_message(output, request).map_err(|e| format!("request write failed: {e}"))?;
+    let mut verdicts = Vec::new();
+    loop {
+        let msg = proto::read_message(input)
+            .map_err(|e| format!("response read failed: {e}"))?
+            .ok_or("server closed the connection mid-response")?;
+        match msg {
+            Message::Verdict { index, status } => verdicts.push((index, status)),
+            Message::Done(summary) => return Ok((verdicts, summary)),
+            Message::Error(text) => return Err(format!("server error: {text}")),
+            other => return Err(format!("unexpected server message: {other:?}")),
+        }
+    }
+}
+
+/// Kills the child and reaps it; used on every early-exit path.
+fn cleanup(mut child: Child, store_dir: &std::path::Path) {
+    let _ = child.kill();
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(store_dir);
+}
+
+fn run() -> Result<String, String> {
+    // The committed workload: the cross-cell table5 circuit, collapsed
+    // faults, cross-frame learning, forbidden-value ATPG. The request is
+    // built from the generator's netlist; the reference run executes the
+    // *round-tripped* bench text and resolved fault specs — exactly the
+    // bytes the server will execute — so any difference is the service
+    // layer's fault, not the bench writer's declaration order.
+    let source = table5_circuit(&Table5Config::with_cross_cells(4));
+    let bench = sla_netlist::writer::write_bench(&source);
+    let specs = proto::fault_specs(&source, &collapsed_fault_list(&source));
+    let netlist = sla_netlist::parser::parse_bench(source.name(), &bench)
+        .map_err(|e| format!("bench round trip failed: {e}"))?;
+    let faults = proto::resolve_faults(&netlist, &specs)
+        .map_err(|e| format!("fault resolution failed: {e}"))?;
+
+    // Standalone reference run through the same session API the server uses.
+    let mut session = Session::open(&netlist);
+    session
+        .learn(&learn_options())
+        .map_err(|e| format!("standalone learning failed: {e}"))?;
+    let standalone = session
+        .atpg(&atpg_options(), &faults)
+        .map_err(|e| format!("standalone ATPG failed: {e}"))?;
+    let reference: Vec<(u32, FaultStatus)> = standalone
+        .status
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (i as u32, *s))
+        .collect();
+    let reference_lines = verdict_lines(&reference);
+
+    // Start the server with a fresh store next to nothing else.
+    let serve_bin = std::env::current_exe()
+        .map_err(|e| format!("current_exe failed: {e}"))?
+        .with_file_name("sla-serve");
+    let store_dir = std::env::temp_dir().join(format!("sla-store-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let mut child = Command::new(&serve_bin)
+        .arg("--store")
+        .arg(&store_dir)
+        .arg("--port")
+        .arg("0")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawning {} failed: {e}", serve_bin.display()))?;
+    let mut child_stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut banner = String::new();
+    child_stdout
+        .read_line(&mut banner)
+        .map_err(|e| format!("reading server banner failed: {e}"))?;
+    let addr = match banner.trim().strip_prefix("sla-serve listening on ") {
+        Some(addr) => addr.to_string(),
+        None => {
+            cleanup(child, &store_dir);
+            return Err(format!("unexpected server banner: {banner:?}"));
+        }
+    };
+
+    let outcome = (|| {
+        let stream =
+            TcpStream::connect(&addr).map_err(|e| format!("connect {addr} failed: {e}"))?;
+        let mut input = BufReader::new(&stream);
+        let mut output = BufWriter::new(&stream);
+        let request = Message::Request(Request {
+            name: netlist.name().to_string(),
+            bench: bench.clone(),
+            faults: specs.clone(),
+            learn: Some(learn_options()),
+            atpg: atpg_options(),
+        });
+
+        let (verdicts1, done1) = roundtrip(&mut input, &mut output, &request)?;
+        if done1.cache != CacheOutcome::Miss {
+            return Err(format!(
+                "request 1: expected a cache miss, got {:?}",
+                done1.cache
+            ));
+        }
+        if done1.learn_work_units == 0 {
+            return Err("request 1: a cold run must spend learning work".to_string());
+        }
+        let lines1 = verdict_lines(&verdicts1);
+        if lines1 != reference_lines {
+            return Err(format!(
+                "request 1 verdicts differ from standalone:\n--- standalone\n{reference_lines}--- served\n{lines1}"
+            ));
+        }
+
+        let (verdicts2, done2) = roundtrip(&mut input, &mut output, &request)?;
+        if done2.cache != CacheOutcome::Hit {
+            return Err(format!(
+                "request 2: expected a cache hit, got {:?}",
+                done2.cache
+            ));
+        }
+        if done2.learn_work_units != 0 {
+            return Err(format!(
+                "request 2: warm run spent {} learning work units, want 0",
+                done2.learn_work_units
+            ));
+        }
+        let lines2 = verdict_lines(&verdicts2);
+        if lines2 != reference_lines {
+            return Err(format!(
+                "request 2 verdicts differ from standalone:\n--- standalone\n{reference_lines}--- served\n{lines2}"
+            ));
+        }
+        if done2.backtracks != done1.backtracks || done2.decisions != done1.decisions {
+            return Err(format!(
+                "summaries diverged between requests: {done1:?} vs {done2:?}"
+            ));
+        }
+
+        proto::write_message(&mut output, &Message::Shutdown)
+            .map_err(|e| format!("shutdown write failed: {e}"))?;
+        Ok((verdicts1.len(), done1))
+    })();
+
+    let (num_verdicts, done1) = match outcome {
+        Ok(v) => v,
+        Err(e) => {
+            cleanup(child, &store_dir);
+            return Err(e);
+        }
+    };
+
+    let status = child
+        .wait()
+        .map_err(|e| format!("waiting for server failed: {e}"))?;
+    let _ = std::fs::remove_dir_all(&store_dir);
+    if !status.success() {
+        return Err(format!("server exited with {status}"));
+    }
+    Ok(format!(
+        "{num_verdicts} verdicts byte-identical across standalone and two served requests; \
+         cold miss spent {} learning work units, warm hit spent 0",
+        done1.learn_work_units
+    ))
+}

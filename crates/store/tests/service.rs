@@ -1,0 +1,137 @@
+//! Service-layer integration test: a real `sla-serve` child process on
+//! loopback answering two identical requests over one connection, the
+//! second served entirely from the shared knowledge store.
+
+use sla_atpg::{AtpgOptions, FaultStatus, LearningMode};
+use sla_circuits::s27;
+use sla_core::LearnOptions;
+use sla_sim::collapsed_fault_list;
+use sla_store::proto::{self, Message, Request, Summary};
+use sla_store::CacheOutcome;
+use std::io::{BufRead, BufReader, BufWriter};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+
+fn roundtrip(
+    input: &mut impl BufRead,
+    output: &mut BufWriter<&TcpStream>,
+    request: &Message,
+) -> Result<(Vec<(u32, FaultStatus)>, Summary), String> {
+    proto::write_message(output, request).map_err(|e| format!("send request: {e}"))?;
+    let mut verdicts = Vec::new();
+    loop {
+        let msg = proto::read_message(input)
+            .map_err(|e| format!("read response: {e}"))?
+            .ok_or("server closed the connection mid-response")?;
+        match msg {
+            Message::Verdict { index, status } => verdicts.push((index, status)),
+            Message::Done(summary) => return Ok((verdicts, summary)),
+            other => return Err(format!("unexpected server message: {other:?}")),
+        }
+    }
+}
+
+/// The conversation under test; errors instead of panicking so the caller
+/// can always reap the child process.
+fn converse(child: &mut Child, request: &Message, num_faults: usize) -> Result<(), String> {
+    let mut banner = String::new();
+    BufReader::new(child.stdout.as_mut().expect("stdout piped"))
+        .read_line(&mut banner)
+        .map_err(|e| format!("read banner: {e}"))?;
+    let addr = banner
+        .trim()
+        .strip_prefix("sla-serve listening on ")
+        .ok_or_else(|| format!("unexpected banner: {banner:?}"))?
+        .to_string();
+
+    let stream = TcpStream::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut input = BufReader::new(&stream);
+    let mut output = BufWriter::new(&stream);
+
+    let (verdicts1, done1) = roundtrip(&mut input, &mut output, request)?;
+    if done1.cache != CacheOutcome::Miss {
+        return Err(format!("request 1: want Miss, got {:?}", done1.cache));
+    }
+    if done1.learn_work_units == 0 {
+        return Err("request 1 must spend learning work".to_string());
+    }
+    if verdicts1.len() != num_faults {
+        return Err(format!(
+            "want {num_faults} verdicts, got {}",
+            verdicts1.len()
+        ));
+    }
+    if !verdicts1
+        .iter()
+        .enumerate()
+        .all(|(i, (idx, _))| i as u32 == *idx)
+    {
+        return Err("verdicts must arrive in strict fault order".to_string());
+    }
+
+    let (verdicts2, done2) = roundtrip(&mut input, &mut output, request)?;
+    if done2.cache != CacheOutcome::Hit {
+        return Err(format!("request 2: want Hit, got {:?}", done2.cache));
+    }
+    if done2.learn_work_units != 0 {
+        return Err(format!(
+            "request 2 spent {} learning work units, want 0",
+            done2.learn_work_units
+        ));
+    }
+    if verdicts2 != verdicts1 {
+        return Err("verdicts differ between requests".to_string());
+    }
+    if (done2.backtracks, done2.decisions, done2.budget_spent)
+        != (done1.backtracks, done1.decisions, done1.budget_spent)
+    {
+        return Err(format!(
+            "search statistics diverged: {done1:?} vs {done2:?}"
+        ));
+    }
+    Ok(())
+}
+
+#[test]
+fn two_requests_share_the_learned_store() {
+    let source = s27();
+    let bench = sla_netlist::writer::write_bench(&source);
+    let specs = proto::fault_specs(&source, &collapsed_fault_list(&source));
+    let request = Message::Request(Request {
+        name: source.name().to_string(),
+        bench,
+        faults: specs.clone(),
+        learn: Some(LearnOptions::builder().cross_frame(true).build()),
+        atpg: AtpgOptions::builder()
+            .backtrack_limit(30)
+            .learning(LearningMode::ForbiddenValue)
+            .build(),
+    });
+
+    let store_dir =
+        std::env::temp_dir().join(format!("sla-store-service-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    // `--max-requests 2` makes the server exit on its own after the second
+    // answer, so a clean conversation needs no shutdown frame.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sla-serve"))
+        .arg("--store")
+        .arg(&store_dir)
+        .arg("--port")
+        .arg("0")
+        .arg("--max-requests")
+        .arg("2")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn sla-serve");
+
+    let outcome = converse(&mut child, &request, specs.len());
+    if outcome.is_err() {
+        let _ = child.kill();
+    }
+    let status = child.wait().expect("wait for server");
+    let _ = std::fs::remove_dir_all(&store_dir);
+    outcome.unwrap_or_else(|e| panic!("service conversation failed: {e}"));
+    assert!(status.success(), "server must exit cleanly, got {status}");
+}

@@ -1,0 +1,80 @@
+//! Knowledge store walkthrough: the unified [`Session`] API backed by the
+//! persistent [`LearnedStore`], cold miss then warm hit.
+//!
+//! The first session learns from scratch and populates the store; the second
+//! session opens the same netlist, hits the cache, spends **zero** learning
+//! work units and produces a bit-identical ATPG run. This is the same code
+//! path `sla-serve` runs per request.
+//!
+//! Run with `cargo run --example knowledge_store`.
+
+use seqlearn::atpg::{AtpgOptions, AtpgRun, LearningMode};
+use seqlearn::circuits::{table5_circuit, Table5Config};
+use seqlearn::learn::LearnOptions;
+use seqlearn::sim::collapsed_fault_list;
+use seqlearn::store::{LearnedStore, Session};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let netlist = table5_circuit(&Table5Config::default());
+    let faults = collapsed_fault_list(&netlist);
+    println!(
+        "Circuit `{}`: {} gates, {} flip-flops, {} collapsed faults",
+        netlist.name(),
+        netlist.num_gates(),
+        netlist.num_sequential(),
+        faults.len()
+    );
+
+    let learn = LearnOptions::builder().cross_frame(true).build();
+    let atpg = AtpgOptions::builder()
+        .backtrack_limit(100)
+        .learning(LearningMode::ForbiddenValue)
+        .build();
+
+    // A scratch store directory; a real deployment points this at durable
+    // storage shared across runs (and across `sla-serve` requests).
+    let dir = std::env::temp_dir().join(format!("sla-store-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = LearnedStore::open(&dir, 8)?;
+
+    let cold_run = run_once("cold", &netlist, &learn, &atpg, &faults, &mut store)?;
+    let warm_run = run_once("warm", &netlist, &learn, &atpg, &faults, &mut store)?;
+
+    // The documented thread/run-variant diagnostics aside, the two runs are
+    // the same bytes.
+    assert_eq!(canonical(warm_run), canonical(cold_run));
+    println!("\nwarm run is bit-identical to the cold run");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
+/// Opens a session, learns through the store, runs ATPG, prints the report.
+fn run_once(
+    label: &str,
+    netlist: &seqlearn::netlist::Netlist,
+    learn: &LearnOptions,
+    atpg: &AtpgOptions,
+    faults: &[seqlearn::sim::Fault],
+    store: &mut LearnedStore,
+) -> Result<AtpgRun, Box<dyn std::error::Error>> {
+    let mut session = Session::open(netlist);
+    let report = session.learn_cached(learn, store)?;
+    println!(
+        "\n{label} session: cache {:?}, {} learning work units, {} implications, {} tied gates",
+        report.outcome, report.work_units, report.implications, report.tied
+    );
+    let run = session.atpg(atpg, faults)?;
+    println!(
+        "{label} ATPG: {} detected, {} untestable, {} aborted, {} backtracks",
+        run.stats.detected, run.stats.untestable, run.stats.aborted, run.stats.backtracks
+    );
+    Ok(run)
+}
+
+/// Zeroes the documented run-variant diagnostics for the equality check.
+fn canonical(mut run: AtpgRun) -> AtpgRun {
+    run.stats.cpu = std::time::Duration::ZERO;
+    run.stats.wasted_speculations = 0;
+    run
+}

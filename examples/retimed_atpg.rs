@@ -60,7 +60,10 @@ fn run_workload(
     ] {
         let engine = AtpgEngine::new(
             netlist,
-            AtpgConfig::with_backtrack_limit(backtrack_limit).learning(mode),
+            AtpgConfig::builder()
+                .backtrack_limit(backtrack_limit)
+                .learning(mode)
+                .build(),
         )?
         .with_learned(learned.clone());
         let run = engine.run(&faults);

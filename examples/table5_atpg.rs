@@ -33,14 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         netlist.num_sequential()
     );
 
-    let learn = SequentialLearner::new(
-        &netlist,
-        LearnConfig {
-            learn_cross_frame: true,
-            ..LearnConfig::default()
-        },
-    )
-    .learn()?;
+    let learn = SequentialLearner::new(&netlist, LearnConfig::builder().cross_frame(true).build())
+        .learn()?;
     let with_cross = LearnedData::from(&learn);
     let same_frame_only =
         LearnedData::from_parts(learn.implications.clone(), learn.tied_constants());
@@ -74,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let engine = AtpgEngine::new(
             &netlist,
-            AtpgConfig::with_backtrack_limit(100).learning(mode),
+            AtpgConfig::builder()
+                .backtrack_limit(100)
+                .learning(mode)
+                .build(),
         )?
         .with_learned(learned.clone());
         let run = engine.run(&faults);

@@ -16,7 +16,10 @@
 //! * [`redundancy`] — the FIRE baseline for fault-independent untestable-fault
 //!   identification,
 //! * [`circuits`] — paper-style example circuits and the synthetic / retimed /
-//!   industrial benchmark generators.
+//!   industrial benchmark generators,
+//! * [`snapshot`] — checkpoint/resume snapshots and the shared binary codec,
+//! * [`store`] — the persistent learned-knowledge store, the unified
+//!   [`store::Session`] API and the `sla-serve` service layer.
 //!
 //! # Quick start
 //!
@@ -43,3 +46,5 @@ pub use sla_netlist as netlist;
 pub use sla_par as par;
 pub use sla_redundancy as redundancy;
 pub use sla_sim as sim;
+pub use sla_snapshot as snapshot;
+pub use sla_store as store;

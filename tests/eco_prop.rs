@@ -1,0 +1,135 @@
+//! Property tests for the ECO edit vocabulary: an edited netlist's
+//! structural hash changes **iff** the edit is non-trivial (the returned
+//! `DirtyCone` is non-empty), and every accepted edit leaves the arena
+//! invariants intact.
+
+use proptest::prelude::*;
+use seqlearn::circuits::{synthesize, SynthConfig};
+use seqlearn::netlist::{GateType, Netlist, NodeId, NodeKind};
+
+fn small_synth(seed: u64, flip_flops: usize, gates: usize) -> Netlist {
+    synthesize(&SynthConfig {
+        name: format!("eco{seed}"),
+        inputs: 4,
+        outputs: 3,
+        flip_flops,
+        gates,
+        max_fanin: 3,
+        seed,
+    })
+}
+
+/// Gate ids of the netlist in id order.
+fn gate_ids(netlist: &Netlist) -> Vec<NodeId> {
+    netlist.gates().collect()
+}
+
+/// A different gate type legal at the same arity.
+fn alternate_type(current: GateType, arity: usize) -> GateType {
+    [
+        GateType::And,
+        GateType::Or,
+        GateType::Nand,
+        GateType::Nor,
+        GateType::Not,
+        GateType::Buf,
+        GateType::Xor,
+        GateType::Xnor,
+    ]
+    .into_iter()
+    .find(|&g| g != current && g.arity_ok(arity))
+    .expect("every arity >= 1 has at least two legal gate types")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `replace_gate`: same type -> hash unchanged + empty cone; different
+    /// type -> hash changed + non-empty cone. Either way the netlist stays
+    /// valid.
+    #[test]
+    fn replace_gate_hash_changes_iff_nontrivial(
+        seed in 0u64..200,
+        pick in 0usize..64,
+    ) {
+        let mut netlist = small_synth(seed, 3, 20);
+        let gates = gate_ids(&netlist);
+        let id = gates[pick % gates.len()];
+        let current = match netlist.node(id).kind {
+            NodeKind::Gate(g) => g,
+            _ => unreachable!("gates() yields gates"),
+        };
+        let before = netlist.structural_hash();
+
+        let cone = netlist.replace_gate(id, current).unwrap();
+        prop_assert!(cone.is_empty());
+        prop_assert_eq!(netlist.structural_hash(), before);
+
+        let arity = netlist.fanins(id).len();
+        let cone = netlist.replace_gate(id, alternate_type(current, arity)).unwrap();
+        prop_assert!(!cone.is_empty());
+        prop_assert!(cone.contains(id));
+        prop_assert_ne!(netlist.structural_hash(), before);
+        netlist.validate().unwrap();
+    }
+
+    /// `rewire_pin`: rewiring to the current driver is trivial; rewiring to
+    /// a different driver changes the hash (or is rejected as a cycle and
+    /// rolls back to the original hash).
+    #[test]
+    fn rewire_pin_hash_changes_iff_nontrivial(
+        seed in 0u64..200,
+        pick in 0usize..64,
+        driver_pick in 0usize..64,
+    ) {
+        let mut netlist = small_synth(seed, 3, 20);
+        let gates = gate_ids(&netlist);
+        let id = gates[pick % gates.len()];
+        let pin = 0;
+        let old_driver = netlist.fanins(id)[pin];
+        let before = netlist.structural_hash();
+
+        let cone = netlist.rewire_pin(id, pin, old_driver).unwrap();
+        prop_assert!(cone.is_empty());
+        prop_assert_eq!(netlist.structural_hash(), before);
+
+        let candidates: Vec<NodeId> = (0..netlist.num_nodes() as u32)
+            .map(NodeId)
+            .filter(|&c| c != old_driver && c != id)
+            .collect();
+        let new_driver = candidates[driver_pick % candidates.len()];
+        match netlist.rewire_pin(id, pin, new_driver) {
+            Ok(cone) => {
+                prop_assert!(!cone.is_empty());
+                prop_assert!(cone.contains(id));
+                prop_assert_ne!(netlist.structural_hash(), before);
+                prop_assert_eq!(netlist.fanins(id)[pin], new_driver);
+            }
+            Err(_) => {
+                // Cycle-creating rewires must roll back completely.
+                prop_assert_eq!(netlist.structural_hash(), before);
+                prop_assert_eq!(netlist.fanins(id)[pin], old_driver);
+            }
+        }
+        netlist.validate().unwrap();
+    }
+
+    /// `add_gate` is always non-trivial: the hash changes and the cone is
+    /// exactly the new node.
+    #[test]
+    fn add_gate_always_changes_hash(
+        seed in 0u64..200,
+        pick in 0usize..64,
+    ) {
+        let mut netlist = small_synth(seed, 3, 20);
+        let fanin = NodeId((pick % netlist.num_nodes()) as u32);
+        let before = netlist.structural_hash();
+        let gates_before = netlist.num_gates();
+        let (id, cone) = netlist.add_gate("eco_added", GateType::Not, &[fanin]).unwrap();
+        prop_assert_eq!(cone.nodes(), &[id]);
+        prop_assert_ne!(netlist.structural_hash(), before);
+        prop_assert_eq!(netlist.num_gates(), gates_before + 1);
+        prop_assert_eq!(netlist.node_id("eco_added"), Some(id));
+        netlist.validate().unwrap();
+    }
+}

@@ -164,13 +164,16 @@ fn learning_modes_classify_retimed_faults_identically() {
     let mut faults = collapsed_fault_list(&netlist);
     faults.truncate(60);
 
-    let baseline = AtpgEngine::new(&netlist, AtpgConfig::with_backtrack_limit(30))
+    let baseline = AtpgEngine::new(&netlist, AtpgConfig::builder().backtrack_limit(30).build())
         .unwrap()
         .run(&faults);
     for mode in [LearningMode::ForbiddenValue, LearningMode::KnownValue] {
         let run = AtpgEngine::new(
             &netlist,
-            AtpgConfig::with_backtrack_limit(30).learning(mode),
+            AtpgConfig::builder()
+                .backtrack_limit(30)
+                .learning(mode)
+                .build(),
         )
         .unwrap()
         .with_learned(learned.clone())

@@ -87,7 +87,10 @@ fn s27_end_to_end_learn_and_atpg() {
     let faults = collapsed_fault_list(&netlist);
     let run = AtpgEngine::new(
         &netlist,
-        AtpgConfig::with_backtrack_limit(100).learning(LearningMode::ForbiddenValue),
+        AtpgConfig::builder()
+            .backtrack_limit(100)
+            .learning(LearningMode::ForbiddenValue)
+            .build(),
     )
     .unwrap()
     .with_learned(learned)
@@ -135,12 +138,15 @@ fn retimed_circuit_learning_helps_atpg() {
     let mut faults = collapsed_fault_list(&netlist);
     faults.truncate(80);
 
-    let baseline = AtpgEngine::new(&netlist, AtpgConfig::with_backtrack_limit(30))
+    let baseline = AtpgEngine::new(&netlist, AtpgConfig::builder().backtrack_limit(30).build())
         .unwrap()
         .run(&faults);
     let with_learning = AtpgEngine::new(
         &netlist,
-        AtpgConfig::with_backtrack_limit(30).learning(LearningMode::ForbiddenValue),
+        AtpgConfig::builder()
+            .backtrack_limit(30)
+            .learning(LearningMode::ForbiddenValue)
+            .build(),
     )
     .unwrap()
     .with_learned(learned)
@@ -193,7 +199,7 @@ fn profiles_round_trip_through_bench_format() {
 fn atpg_statuses_are_consistent_with_fault_simulation() {
     let netlist = s27();
     let faults = collapsed_fault_list(&netlist);
-    let run = AtpgEngine::new(&netlist, AtpgConfig::with_backtrack_limit(50))
+    let run = AtpgEngine::new(&netlist, AtpgConfig::builder().backtrack_limit(50).build())
         .unwrap()
         .run(&faults);
     let sim = FaultSimulator::new(&netlist).unwrap();

@@ -48,10 +48,7 @@ proptest! {
         cross_pick in 0usize..2,
     ) {
         let netlist = small_synth(seed, flip_flops, gates);
-        let config = LearnConfig {
-            learn_cross_frame: cross_pick == 1,
-            ..LearnConfig::default()
-        };
+        let config = LearnConfig::builder().cross_frame(cross_pick == 1).build();
         let learner = SequentialLearner::new(&netlist, config);
         let reference = learner.learn_with_threads(1).unwrap();
         for threads in THREAD_COUNTS {
@@ -98,20 +95,18 @@ proptest! {
         let learned = LearnedData::from(
             &SequentialLearner::new(
                 &netlist,
-                LearnConfig {
-                    learn_cross_frame: true,
-                    ..LearnConfig::default()
-                },
+                LearnConfig::builder().cross_frame(true).build(),
             )
             .learn_with_threads(1)
             .unwrap(),
         );
         let mode = [LearningMode::None, LearningMode::ForbiddenValue, LearningMode::KnownValue]
             [mode_pick];
-        let config = AtpgConfig {
-            fault_dropping: drop_pick == 1,
-            ..AtpgConfig::with_backtrack_limit(20).learning(mode)
-        };
+        let config = AtpgConfig::builder()
+            .backtrack_limit(20)
+            .learning(mode)
+            .fault_dropping(drop_pick == 1)
+            .build();
         let engine = AtpgEngine::new(&netlist, config)
             .unwrap()
             .with_learned(learned);
@@ -148,7 +143,7 @@ proptest! {
         budget_eighths in 1u64..8,
     ) {
         let netlist = small_synth(seed, flip_flops, gates);
-        let base = AtpgConfig::with_backtrack_limit(20);
+        let base = AtpgConfig::builder().backtrack_limit(20).build();
         let mut faults = collapsed_fault_list(&netlist);
         faults.truncate(40);
         let unlimited = AtpgEngine::new(&netlist, base).unwrap().run_with_threads(&faults, 1);
@@ -157,7 +152,7 @@ proptest! {
         let units = (unlimited.stats.budget_spent * budget_eighths / 8).max(1);
         let engine = AtpgEngine::new(
             &netlist,
-            AtpgConfig { budget: WorkBudget::units(units), ..base },
+            base.to_builder().budget(WorkBudget::units(units)).build(),
         )
         .unwrap();
         let reference = engine.run_with_threads(&faults, 1);
@@ -210,13 +205,8 @@ fn sharded_pipeline_matches_serial_on_structured_workloads() {
     let table5 = table5_circuit(&Table5Config::default());
     let table5x = table5_circuit(&Table5Config::with_cross_cells(2));
     for (netlist, cross) in [(&retimed, false), (&table5, false), (&table5x, true)] {
-        let learner = SequentialLearner::new(
-            netlist,
-            LearnConfig {
-                learn_cross_frame: cross,
-                ..LearnConfig::default()
-            },
-        );
+        let learner =
+            SequentialLearner::new(netlist, LearnConfig::builder().cross_frame(cross).build());
         let learn_ref = learner.learn_with_threads(1).unwrap();
         let learn_par = learner.learn_with_threads(4).unwrap();
         assert_eq!(
@@ -228,7 +218,10 @@ fn sharded_pipeline_matches_serial_on_structured_workloads() {
 
         let engine = AtpgEngine::new(
             netlist,
-            AtpgConfig::with_backtrack_limit(30).learning(LearningMode::ForbiddenValue),
+            AtpgConfig::builder()
+                .backtrack_limit(30)
+                .learning(LearningMode::ForbiddenValue)
+                .build(),
         )
         .unwrap()
         .with_learned(LearnedData::from(&learn_ref));

@@ -27,15 +27,9 @@ fn canonical(mut run: AtpgRun) -> AtpgRun {
 
 fn learned_for(netlist: &Netlist, cross: bool) -> LearnedData {
     LearnedData::from(
-        &SequentialLearner::new(
-            netlist,
-            LearnConfig {
-                learn_cross_frame: cross,
-                ..LearnConfig::default()
-            },
-        )
-        .learn_with_threads(1)
-        .expect("learning the workload"),
+        &SequentialLearner::new(netlist, LearnConfig::builder().cross_frame(cross).build())
+            .learn_with_threads(1)
+            .expect("learning the workload"),
     )
 }
 
@@ -47,7 +41,10 @@ fn workloads() -> Vec<(Netlist, bool)> {
 }
 
 fn config() -> AtpgConfig {
-    AtpgConfig::with_backtrack_limit(30).learning(LearningMode::ForbiddenValue)
+    AtpgConfig::builder()
+        .backtrack_limit(30)
+        .learning(LearningMode::ForbiddenValue)
+        .build()
 }
 
 /// The tentpole claim: interrupting at **every** snapshot boundary — advance
@@ -171,10 +168,7 @@ fn injected_panic_poisons_only_its_fault() {
         .pick(faults.len());
     // Fault dropping could classify the target before its own search runs;
     // disable it so the injection always fires.
-    let cfg = AtpgConfig {
-        fault_dropping: false,
-        ..config()
-    };
+    let cfg = config().to_builder().fault_dropping(false).build();
     let hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
     let runs: Vec<AtpgRun> = THREADS

@@ -62,7 +62,9 @@ fn facade_reexports_resolve() {
     let faults = seqlearn::sim::collapsed_fault_list(&netlist);
     assert!(!faults.is_empty());
     let _ = seqlearn::learn::LearnConfig::default();
-    let _ = seqlearn::atpg::AtpgConfig::with_backtrack_limit(1);
+    let _ = seqlearn::atpg::AtpgConfig::builder()
+        .backtrack_limit(1)
+        .build();
     let fire = seqlearn::redundancy::identify_untestable(&netlist).expect("FIRE runs on s27");
     assert!(fire.untestable.len() <= faults.len());
 }

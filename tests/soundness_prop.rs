@@ -114,7 +114,7 @@ proptest! {
         let netlist = small_synth(seed, flip_flops, gates);
         let result = SequentialLearner::new(
             &netlist,
-            LearnConfig { learn_cross_frame: true, ..LearnConfig::default() },
+            LearnConfig::builder().cross_frame(true).build(),
         )
         .learn()
         .unwrap();

@@ -26,7 +26,10 @@ fn run_mode(
 ) -> AtpgRun {
     AtpgEngine::new(
         netlist,
-        AtpgConfig::with_backtrack_limit(100).learning(mode),
+        AtpgConfig::builder()
+            .backtrack_limit(100)
+            .learning(mode)
+            .build(),
     )
     .unwrap()
     .with_learned(learned.clone())
@@ -88,15 +91,9 @@ fn learning_strictly_reduces_backtracks_on_the_table5_workload() {
 #[test]
 fn cross_frame_relations_strictly_reduce_backtracks() {
     let netlist = table5_circuit(&Table5Config::with_cross_cells(4));
-    let learn = SequentialLearner::new(
-        &netlist,
-        LearnConfig {
-            learn_cross_frame: true,
-            ..LearnConfig::default()
-        },
-    )
-    .learn()
-    .unwrap();
+    let learn = SequentialLearner::new(&netlist, LearnConfig::builder().cross_frame(true).build())
+        .learn()
+        .unwrap();
     assert!(
         !learn.cross_frame.is_empty(),
         "the workload must produce cross-frame relations"
