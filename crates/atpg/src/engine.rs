@@ -232,6 +232,19 @@ impl RunProgress {
     pub fn is_complete(&self) -> bool {
         self.next_fault >= self.status.len()
     }
+
+    /// Verdict of fault `i` so far (`None`: unclassified or out of range).
+    fn verdict(&self, i: usize) -> Option<FaultStatus> {
+        self.status.get(i).copied().flatten()
+    }
+
+    /// Records a verdict for fault `i`; out-of-range indices are ignored
+    /// (total by construction — `status` is parallel to the fault list).
+    fn classify(&mut self, i: usize, verdict: FaultStatus) {
+        if let Some(slot) = self.status.get_mut(i) {
+            *slot = Some(verdict);
+        }
+    }
 }
 
 /// Sequential ATPG engine.
@@ -338,12 +351,14 @@ impl<'a> AtpgEngine<'a> {
             for (i, fault) in faults.iter().enumerate() {
                 let line_value = match fault.site {
                     FaultSite::Output(node) => self.learned.tied_value(node),
-                    FaultSite::Input { gate, pin } => {
-                        self.learned.tied_value(self.netlist.fanins(gate)[pin])
-                    }
+                    FaultSite::Input { gate, pin } => self
+                        .netlist
+                        .fanins(gate)
+                        .get(pin)
+                        .and_then(|&line| self.learned.tied_value(line)),
                 };
                 if line_value == Some(fault.stuck_at) {
-                    progress.status[i] = Some(FaultStatus::Untestable);
+                    progress.classify(i, FaultStatus::Untestable);
                     progress.untestable_from_ties += 1;
                 }
             }
@@ -387,7 +402,7 @@ impl<'a> AtpgEngine<'a> {
             );
             while progress.next_fault < stop {
                 let i = progress.next_fault;
-                if progress.status[i].is_some() {
+                if progress.verdict(i).is_some() {
                     progress.next_fault += 1;
                     continue;
                 }
@@ -445,7 +460,7 @@ impl<'a> AtpgEngine<'a> {
                     let mut exhausted = false;
                     while progress.next_fault < stop {
                         let next = progress.next_fault;
-                        if progress.status[next].is_some() {
+                        if progress.verdict(next).is_some() {
                             // Classified without a search (tied screening
                             // or dropped): the serial run never searched
                             // it — a speculative result is wasted work.
@@ -488,7 +503,7 @@ impl<'a> AtpgEngine<'a> {
                     let mut idx = blocker + 1;
                     let mut scanned = 0usize;
                     while wave.len() < wave_cap && idx < stop && scanned < scan_limit {
-                        if progress.status[idx].is_none()
+                        if progress.verdict(idx).is_none()
                             && !results.contains_key(&idx)
                             && union.disjoint(cones.mask(idx))
                         {
@@ -574,11 +589,17 @@ impl<'a> AtpgEngine<'a> {
         idx: usize,
     ) -> JobOutcome<GenResult> {
         let panic_at = self.panic_at;
+        // Resolve the fault before entering the quarantine: an out-of-range
+        // index (impossible by construction — waves only submit indices
+        // below `stop`) becomes a quarantined outcome, not a panic.
+        let Some(&fault) = faults.get(idx) else {
+            return JobOutcome::Panicked(format!("fault index {idx} out of range"));
+        };
         sla_par::quarantine(move || {
             if panic_at == Some(idx) {
                 panic!("injected panic at fault {idx}");
             }
-            generator.generate(&faults[idx])
+            generator.generate(&fault)
         })
     }
 
@@ -598,7 +619,7 @@ impl<'a> AtpgEngine<'a> {
             JobOutcome::Panicked(message) => {
                 // Quarantine: only this fault is poisoned; no work units are
                 // charged (the search produced none that were merged).
-                progress.status[i] = Some(FaultStatus::Aborted(AbortReason::Panic));
+                progress.classify(i, FaultStatus::Aborted(AbortReason::Panic));
                 progress.panics.push((i, message));
                 return;
             }
@@ -608,27 +629,29 @@ impl<'a> AtpgEngine<'a> {
         progress.budget_spent += (result.backtracks + result.decisions) as u64;
         match result.outcome {
             GenOutcome::Detected(sequence) => {
-                progress.status[i] = Some(FaultStatus::Detected);
+                progress.classify(i, FaultStatus::Detected);
                 if self.config.fault_dropping {
                     // Drop every remaining fault the new sequence detects.
-                    let remaining: Vec<usize> = (i + 1..faults.len())
-                        .filter(|&j| progress.status[j].is_none())
+                    let remaining: Vec<(usize, Fault)> = faults
+                        .iter()
+                        .enumerate()
+                        .skip(i + 1)
+                        .filter(|(j, _)| progress.verdict(*j).is_none())
+                        .map(|(j, &f)| (j, f))
                         .collect();
-                    let targets: Vec<Fault> = remaining.iter().map(|&j| faults[j]).collect();
+                    let targets: Vec<Fault> = remaining.iter().map(|&(_, f)| f).collect();
                     let hit = fault_sim.detected_faults(&targets, &sequence);
-                    for (&j, &detected) in remaining.iter().zip(&hit) {
+                    for (&(j, _), &detected) in remaining.iter().zip(&hit) {
                         if detected {
-                            progress.status[j] = Some(FaultStatus::Detected);
+                            progress.classify(j, FaultStatus::Detected);
                         }
                     }
                 }
                 progress.test_vectors += sequence.len();
                 progress.sequences.push(sequence);
             }
-            GenOutcome::Untestable => progress.status[i] = Some(FaultStatus::Untestable),
-            GenOutcome::Aborted => {
-                progress.status[i] = Some(FaultStatus::Aborted(AbortReason::Limit))
-            }
+            GenOutcome::Untestable => progress.classify(i, FaultStatus::Untestable),
+            GenOutcome::Aborted => progress.classify(i, FaultStatus::Aborted(AbortReason::Limit)),
         }
     }
 }
@@ -644,12 +667,16 @@ impl ConeMask {
 
     #[inline]
     fn get(&self, idx: usize) -> bool {
-        self.0[idx / 64] & (1 << (idx % 64)) != 0
+        self.0
+            .get(idx / 64)
+            .is_some_and(|word| word & (1 << (idx % 64)) != 0)
     }
 
     #[inline]
     fn set(&mut self, idx: usize) {
-        self.0[idx / 64] |= 1 << (idx % 64);
+        if let Some(word) = self.0.get_mut(idx / 64) {
+            *word |= 1 << (idx % 64);
+        }
     }
 
     fn disjoint(&self, other: &ConeMask) -> bool {
@@ -672,7 +699,9 @@ impl ConeMask {
 struct FaultCones {
     masks: Vec<ConeMask>,
     index: Vec<usize>,
-    words: usize,
+    /// All-zero mask of the right width: the total-lookup fallback of
+    /// [`FaultCones::mask`] and the seed of [`FaultCones::empty_mask`].
+    empty: ConeMask,
 }
 
 impl FaultCones {
@@ -704,16 +733,22 @@ impl FaultCones {
         FaultCones {
             masks,
             index,
-            words,
+            empty: ConeMask::empty(words),
         }
     }
 
+    /// Cone mask of fault `fault`. Total: an out-of-range index (impossible
+    /// for wave-submitted indices) yields the empty mask, which is disjoint
+    /// from everything — the merge replays the drop protocol regardless.
     fn mask(&self, fault: usize) -> &ConeMask {
-        &self.masks[self.index[fault]]
+        self.index
+            .get(fault)
+            .and_then(|&m| self.masks.get(m))
+            .unwrap_or(&self.empty)
     }
 
     fn empty_mask(&self) -> ConeMask {
-        ConeMask::empty(self.words)
+        self.empty.clone()
     }
 }
 

@@ -362,6 +362,7 @@ impl ImplicationLayer {
                 }
             }
         }
+        let frames = i64::try_from(good.len()).expect("frame count fits i64");
         let mut head = 0;
         while head < queue.len() {
             let (frame, lit) = queue[head];
@@ -371,7 +372,7 @@ impl ImplicationLayer {
             }
             for &(c, off) in adj.cross_consequents(lit) {
                 let tf = frame as i64 + off as i64;
-                if (0..good.len() as i64).contains(&tf) {
+                if (0..frames).contains(&tf) {
                     layer.derive(tf as u32, c, good, chase, &mut queue);
                 }
             }
@@ -551,8 +552,8 @@ impl<'a> IncrementalLayer<'a> {
     ) -> bool {
         assert_eq!(level, self.levels.len(), "levels must be pushed in order");
         self.levels.push(LevelMark {
-            hints: self.hint_trail.len() as u32,
-            seen: self.seen_trail.len() as u32,
+            hints: u32::try_from(self.hint_trail.len()).expect("hint trail fits u32"),
+            seen: u32::try_from(self.seen_trail.len()).expect("seen trail fits u32"),
         });
         if self.hints.is_empty() {
             return false;
@@ -601,8 +602,8 @@ impl<'a> IncrementalLayer<'a> {
     pub fn update_events(&mut self, level: usize, values: &[Logic3], events: &[u32]) -> bool {
         assert_eq!(level, self.levels.len(), "levels must be pushed in order");
         self.levels.push(LevelMark {
-            hints: self.hint_trail.len() as u32,
-            seen: self.seen_trail.len() as u32,
+            hints: u32::try_from(self.hint_trail.len()).expect("hint trail fits u32"),
+            seen: u32::try_from(self.seen_trail.len()).expect("seen trail fits u32"),
         });
         if self.hints.is_empty() {
             return false;

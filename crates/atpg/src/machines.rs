@@ -381,8 +381,8 @@ impl<'a> SearchMachines<'a> {
             }
         }
         let mut dirty = std::mem::take(&mut self.dirty);
-        for &slot in &dirty {
-            let slot = slot as usize;
+        for &slot32 in &dirty {
+            let slot = slot32 as usize;
             self.dirty_flag[slot] = false;
             let node = NodeId((slot % num_nodes) as u32);
             let frame = slot / num_nodes;
@@ -408,10 +408,10 @@ impl<'a> SearchMachines<'a> {
                     self.po_d[slot] = d;
                     if d {
                         self.detected_count += 1;
-                        self.fx_trail.push(FxOp::Detect(slot as u32));
+                        self.fx_trail.push(FxOp::Detect(slot32));
                     } else {
                         self.detected_count -= 1;
-                        self.fx_trail.push(FxOp::Undetect(slot as u32));
+                        self.fx_trail.push(FxOp::Undetect(slot32));
                     }
                 }
             }

@@ -3,7 +3,7 @@
 
 use crate::relation::{Implication, Literal, RelationKind};
 use sla_netlist::{FastHashMap, Netlist, NodeId};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Stores learned same-frame implications.
 ///
@@ -14,8 +14,11 @@ use std::collections::BTreeSet;
 /// "sequential" counts the paper reports in Table 3.
 #[derive(Debug, Clone, Default)]
 pub struct ImplicationDb {
-    /// antecedent -> set of consequents (directed edges, closed under contrapositive).
-    forward: FastHashMap<Literal, BTreeSet<Literal>>,
+    /// antecedent -> set of consequents (directed edges, closed under
+    /// contrapositive). A `BTreeMap`, not a fast map: the transitive-closure
+    /// pass iterates it, and the determinism contract (fast-map-iteration
+    /// rule) requires every iterated map to have an input-defined order.
+    forward: BTreeMap<Literal, BTreeSet<Literal>>,
     /// Canonical relation list in insertion order, with the sequential flag.
     canonical: Vec<(Implication, bool)>,
     /// Position of each relation in `canonical`, keyed by the orientation-

@@ -12,8 +12,9 @@
 use crate::relation::{CrossImplication, Implication, Literal};
 use crate::single_node::{keep_relation, SupportMap};
 use crate::tie::{TieKind, TiedGate};
-use sla_netlist::{FastHashMap, Netlist, NodeId};
+use sla_netlist::{Netlist, NodeId};
 use sla_sim::{Injection, InjectionSim, SimOptions, TraceRead};
+use std::collections::BTreeMap;
 
 /// Everything learned by a multiple-node pass.
 #[derive(Debug, Default)]
@@ -51,7 +52,10 @@ struct Target {
 /// `stem = !w @ horizon - t`.
 fn prepare_target(node: NodeId, produced: bool, entries: &[(NodeId, bool, usize)]) -> Target {
     let horizon = entries.iter().map(|&(_, _, t)| t).max().unwrap_or(0);
-    let mut by_slot: FastHashMap<(NodeId, usize), bool> = FastHashMap::default();
+    // A BTreeMap: `into_iter` below hands the slots to the injection list,
+    // and the determinism contract (fast-map-iteration rule) requires every
+    // iterated map to carry an input-defined order.
+    let mut by_slot: BTreeMap<(NodeId, usize), bool> = BTreeMap::new();
     let mut contradictory = false;
     for &(stem, w, t) in entries {
         let frame = horizon - t;

@@ -17,7 +17,79 @@ use sla_sim::{Injection, InjectionSim, Logic3, SimOptions, Trace, TraceRead};
 /// For every `(node, value)`: the list of `(stem, stem_value, frame)` stem
 /// assignments whose forward simulation sets the node to that value at that
 /// frame offset.
-pub type SupportMap = FastHashMap<(NodeId, bool), Vec<(NodeId, bool, usize)>>;
+///
+/// An insertion-ordered map rather than a bare `FastHashMap` alias: the
+/// accumulate path stays O(1) per assignment (it runs once per simulated
+/// binary assignment, the hottest spot of the learning lanes), while
+/// iteration walks keys in first-insertion order. That makes iteration a
+/// pure function of the accumulation sequence — the fast-map-iteration
+/// discipline — without paying a `BTreeMap` comparison ladder on every
+/// simulated assignment.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct SupportMap {
+    map: FastHashMap<SupportKey, Vec<SupportEntry>>,
+    /// Keys in first-insertion order; the only iteration order handed out.
+    keys: Vec<SupportKey>,
+}
+
+/// A `(node, value)` support-map key.
+pub type SupportKey = (NodeId, bool);
+
+/// A `(stem, stem_value, frame)` assignment supporting a key.
+pub type SupportEntry = (NodeId, bool, usize);
+
+impl SupportMap {
+    /// Appends one support entry for `key`.
+    pub fn push(&mut self, key: SupportKey, entry: SupportEntry) {
+        self.slot(key).push(entry);
+    }
+
+    /// Appends a batch of support entries for `key` (the merge path).
+    pub fn extend_entries(
+        &mut self,
+        key: SupportKey,
+        entries: impl IntoIterator<Item = SupportEntry>,
+    ) {
+        self.slot(key).extend(entries);
+    }
+
+    fn slot(&mut self, key: SupportKey) -> &mut Vec<SupportEntry> {
+        if !self.map.contains_key(&key) {
+            self.keys.push(key);
+        }
+        self.map.entry(key).or_default()
+    }
+
+    /// Support entries of `key`, if any.
+    pub fn get(&self, key: &SupportKey) -> Option<&Vec<SupportEntry>> {
+        self.map.get(key)
+    }
+
+    /// Number of distinct `(node, value)` keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` when no support was accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Iterates `(key, entries)` in first-insertion key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&SupportKey, &Vec<SupportEntry>)> {
+        self.keys
+            .iter()
+            .map(|k| (k, self.map.get(k).expect("key recorded at insertion")))
+    }
+
+    /// Consumes the map in first-insertion key order.
+    pub fn into_entries(mut self) -> impl Iterator<Item = (SupportKey, Vec<SupportEntry>)> {
+        self.keys.into_iter().map(move |k| {
+            let entries = self.map.remove(&k).expect("key recorded at insertion");
+            (k, entries)
+        })
+    }
+}
 
 /// Decides whether a relation between two endpoints is worth keeping.
 ///
@@ -431,7 +503,7 @@ pub fn accumulate_support<T: TraceRead>(
             if node == stem || netlist.node(node).is_input() {
                 continue;
             }
-            support.entry((node, v)).or_default().push((stem, value, t));
+            support.push((node, v), (stem, value, t));
         }
     }
 }
@@ -639,8 +711,8 @@ pub fn run_sharded(
         }
         merged.cross_frame.extend(outcome.cross_frame);
         merged.ties.extend(outcome.ties);
-        for (key, entries) in outcome.support {
-            merged.support.entry(key).or_default().extend(entries);
+        for (key, entries) in outcome.support.into_entries() {
+            merged.support.extend_entries(key, entries);
         }
         merged.stems_processed += outcome.stems_processed;
     }

@@ -1,0 +1,54 @@
+//! Fixture: the sanctioned fast-map discipline — lookups on
+//! `FastHashMap`/`FastHashSet`, iteration only over ordered containers
+//! (`BTreeMap`) or after collecting and sorting.
+
+use std::collections::BTreeMap;
+
+use sla_netlist::{FastHashMap, FastHashSet};
+
+pub struct Db {
+    index: FastHashMap<u32, usize>,
+    ordered: BTreeMap<u32, u32>,
+}
+
+impl Db {
+    /// The whole lookup vocabulary is fine.
+    pub fn probe(&mut self, key: u32) -> Option<usize> {
+        if self.index.contains_key(&key) {
+            self.index.get(&key).copied()
+        } else {
+            self.index.entry(key).or_insert(0);
+            self.index.remove(&key)
+        }
+    }
+
+    /// Deterministic iteration goes through the ordered mirror.
+    pub fn sum(&self) -> u64 {
+        let mut total = 0u64;
+        for (_, v) in &self.ordered {
+            total += u64::from(*v);
+        }
+        total
+    }
+}
+
+/// Collect-and-sort: the keys leave the fast set through a total order.
+pub fn sorted_members(s: &FastHashSet<u32>, universe: &[u32]) -> Vec<u32> {
+    let mut out: Vec<u32> = universe.iter().filter(|x| s.contains(x)).copied().collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_iterate_fast_maps() {
+        // Assertions over iteration order live in tests, where a
+        // nondeterministic failure is loud, not silent.
+        let mut m: FastHashMap<u32, u32> = FastHashMap::default();
+        m.insert(1, 2);
+        assert_eq!(m.iter().count(), 1);
+    }
+}

@@ -1,14 +1,25 @@
-//! Fixture: the sanctioned form of the unwrap-in-lib rule in the refactored
-//! parser shape — trailing-comment stripping and typed error propagation;
-//! `.unwrap()` inside the `#[cfg(test)]` module is exempt (a failed test may
-//! panic).
+//! Fixture: the sanctioned form of the unwrap-in-lib and panic-index rules
+//! in the refactored parser shape — trailing-comment stripping without
+//! slice indexing, and typed error propagation; `.unwrap()` and `v[i]`
+//! inside the `#[cfg(test)]` module are exempt (a failed test may panic).
 
 /// Everything from the first `#` on is a comment (the ISCAS-89 dialect).
 pub fn strip_trailing_comment(line: &str) -> &str {
-    match line.find('#') {
-        Some(pos) => &line[..pos],
+    // `split_once` instead of `find` + `&line[..pos]`: no index expression,
+    // so the no-panic contract holds by construction.
+    match line.split_once('#') {
+        Some((before, _)) => before,
         None => line,
     }
+}
+
+/// Checked element access: `.get()` propagates instead of panicking.
+pub fn nth_word(line: &str, n: usize) -> Result<&str, String> {
+    let words: Vec<&str> = line.split_whitespace().collect();
+    words
+        .get(n)
+        .copied()
+        .ok_or_else(|| format!("expected at least {} word(s) in `{line}`", n + 1))
 }
 
 pub fn parse_width(word: &str) -> Result<u32, String> {
@@ -27,7 +38,9 @@ mod tests {
 
     #[test]
     fn parses() {
-        // Test code may unwrap freely.
+        // Test code may unwrap and index freely.
         assert_eq!(parse_width("4 # comment").unwrap(), 4);
+        let words = ["a", "b"];
+        assert_eq!(words[1], nth_word("a b", 1).unwrap());
     }
 }

@@ -1,0 +1,33 @@
+//! Fixture: the sanctioned integer-conversion discipline in a pipeline
+//! crate — `try_from` with a typed error for narrowing, plain `as` only
+//! when it provably widens.
+
+/// Narrowing goes through `try_from` and surfaces a typed error.
+pub fn checked_narrow(frames: u64) -> Result<u32, String> {
+    u32::try_from(frames).map_err(|_| format!("frame count {frames} exceeds u32"))
+}
+
+/// Widening casts are lossless and stay `as`.
+pub fn widen(n: u32, m: usize) -> (u64, u64, i64) {
+    (u64::from(n), m as u64, n as i64)
+}
+
+/// An unprovable source type is out of scope by design: the rule never
+/// guesses (the conservative boundary documented in the parser).
+pub fn opaque(x: impl Into<u64>) -> u64 {
+    let y = x.into();
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_narrow() {
+        // A wrapped value in a test trips an assertion immediately.
+        let n: u64 = 5;
+        assert_eq!(n as u32, 5);
+        assert_eq!(checked_narrow(5).unwrap(), 5);
+    }
+}

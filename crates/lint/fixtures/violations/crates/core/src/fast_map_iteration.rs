@@ -1,0 +1,41 @@
+//! Fixture: iteration over the lookup-only fast map types in library code —
+//! every banned form the `fast-map-iteration` rule recognizes.
+
+use sla_netlist::{FastHashMap, FastHashSet};
+
+pub struct Db {
+    forward: FastHashMap<u32, u32>,
+}
+
+impl Db {
+    /// Iterating a fast-map struct field.
+    pub fn drain_all(&mut self) -> Vec<(u32, u32)> {
+        self.forward.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+}
+
+/// `for … in` over a fast-map binding.
+pub fn sum_keys(m: &FastHashMap<u32, u32>) -> u64 {
+    let mut total = 0u64;
+    for (k, _) in m {
+        total += u64::from(*k);
+    }
+    total
+}
+
+/// Method iteration over an annotated local.
+pub fn collect_set() -> Vec<u32> {
+    let mut s: FastHashSet<u32> = FastHashSet::default();
+    s.insert(3);
+    s.into_iter().collect()
+}
+
+/// `.keys()` / `.values()` / `.drain()` on an inferred construction.
+pub fn leak_order() -> usize {
+    let mut m = FastHashMap::<u32, u32>::default();
+    m.insert(1, 2);
+    let k = m.keys().count();
+    let v = m.values().count();
+    let d = m.drain().count();
+    k + v + d
+}

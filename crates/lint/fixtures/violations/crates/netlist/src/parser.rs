@@ -1,0 +1,35 @@
+//! Fixture: unchecked indexing in a hardened no-panic file — the forms the
+//! `panic-index` rule recognizes (the path matters: this file stands in for
+//! the real `crates/netlist/src/parser.rs`).
+
+/// Direct element indexing panics on short input.
+pub fn first_word(line: &str) -> &str {
+    let words: Vec<&str> = line.split_whitespace().collect();
+    words[0]
+}
+
+/// Range slicing panics when the bound is past the end.
+pub fn before(line: &str, pos: usize) -> &str {
+    &line[..pos]
+}
+
+/// Indexing a call result and a tuple field.
+pub struct Wrap(pub Vec<u32>);
+
+impl Wrap {
+    pub fn pick(&self, i: usize) -> u32 {
+        self.0[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_indexing_is_exempt() {
+        let v = [1u32, 2];
+        assert_eq!(v[0], 1);
+        assert_eq!(first_word("a b"), "a");
+    }
+}

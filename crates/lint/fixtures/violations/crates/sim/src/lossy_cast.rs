@@ -1,0 +1,24 @@
+//! Fixture: narrowing integer `as` casts in a pipeline crate — every
+//! provable-source form the `lossy-cast` rule recognizes.
+
+/// Annotated binding, narrowed.
+pub fn narrow_binding(frames: u64) -> u32 {
+    frames as u32
+}
+
+/// `.len()` is usize; usize is 64-bit by contract, so `as u32` narrows.
+pub fn narrow_len(v: &[u8]) -> u32 {
+    v.len() as u32
+}
+
+/// Signedness changes lose values in both directions.
+pub fn sign_flips(s: i64, u: u64) -> (u64, i64) {
+    (s as u64, u as i64)
+}
+
+/// Suffixed literals and inferred `let` types count too.
+pub fn literal_and_inferred() -> u16 {
+    let big = 70_000u32;
+    let n = big as u16;
+    n + 300u32 as u16
+}

@@ -1,0 +1,304 @@
+//! The incremental findings cache behind `sla-lint --cache <path>`.
+//!
+//! The cache stores one entry per linted file, keyed by the file's relative
+//! path and the FNV-1a hash of its content, holding the complete per-file
+//! [`FileReport`]. Because [`crate::lint_file`] is a pure function of
+//! `(path, content)` and waiver filtering never crosses file boundaries, a
+//! hash hit can replay the stored report verbatim and the aggregate output
+//! is byte-identical to a cold run — CI asserts exactly that.
+//!
+//! Staleness is handled two ways:
+//!
+//! * the header carries a **rule-set fingerprint** (hash over every rule id,
+//!   summary and rationale plus a format version); any change to the
+//!   registry or the on-disk format invalidates the whole cache, so a new
+//!   or reworded rule forces a cold re-lint;
+//! * [`crate::lint_tree_with_cache`] rebuilds the entry set from the files
+//!   it actually saw, so deleted files cannot leave ghost findings behind.
+//!
+//! The format is a plain text file (one header line, then per-file blocks)
+//! written with `\n`/`\\` escaping — no serialization dependency, stable
+//! under version control diffing, and any parse irregularity simply degrades
+//! to an empty cache (a cold run), never to wrong findings.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::rules::{rule, RULES};
+use crate::{AppliedWaiver, FileReport, Finding};
+
+/// Bump on any change to the on-disk format.
+const FORMAT_VERSION: u32 = 1;
+
+/// 64-bit FNV-1a over `bytes` — dependency-free and deterministic across
+/// platforms and processes (unlike the std hasher, which is seeded).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Cache key for one file's content.
+pub fn content_hash(content: &str) -> u64 {
+    fnv1a(content.as_bytes())
+}
+
+/// Fingerprint of the rule registry (and cache format): cached findings are
+/// only replayed when the rules that produced them are byte-for-byte the
+/// rules in this binary.
+pub fn rules_fingerprint() -> u64 {
+    let mut acc = String::new();
+    let _ = write!(acc, "sla-lint-cache v{FORMAT_VERSION}");
+    for r in RULES {
+        let _ = write!(acc, "\x1f{}\x1e{}\x1e{}", r.id, r.summary, r.rationale);
+    }
+    fnv1a(acc.as_bytes())
+}
+
+/// One file's cached state.
+#[derive(Debug, Clone)]
+struct Entry {
+    hash: u64,
+    report: FileReport,
+}
+
+/// A loaded (or empty) findings cache.
+#[derive(Debug, Default)]
+pub struct Cache {
+    entries: BTreeMap<String, Entry>,
+}
+
+impl Cache {
+    /// Loads a cache from `path`. A missing file, a fingerprint mismatch or
+    /// any malformed content yields an empty cache — the run is then simply
+    /// cold.
+    ///
+    /// # Errors
+    ///
+    /// Propagates only genuine I/O errors other than "not found".
+    pub fn load(path: &Path) -> io::Result<Cache> {
+        let text = match fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Cache::default()),
+            Err(e) => return Err(e),
+        };
+        Ok(parse(&text).unwrap_or_default())
+    }
+
+    /// Serializes the cache to `path` (entries in sorted path order, so the
+    /// bytes are deterministic for a given state).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "sla-lint-cache {} {:016x}",
+            FORMAT_VERSION,
+            rules_fingerprint()
+        );
+        for (rel, entry) in &self.entries {
+            let _ = writeln!(
+                out,
+                "file {:016x} {} {} {}",
+                entry.hash,
+                entry.report.findings.len(),
+                entry.report.waivers.len(),
+                rel
+            );
+            for f in &entry.report.findings {
+                let _ = writeln!(out, "f {} {} {}", f.line, f.rule, escape(&f.message));
+            }
+            for w in &entry.report.waivers {
+                let _ = writeln!(out, "w {} {} {}", w.line, w.rule, escape(&w.reason));
+            }
+        }
+        fs::write(path, out)
+    }
+
+    /// Removes and returns the stored report for `rel` when its hash still
+    /// matches the current content.
+    pub fn take(&mut self, rel: &str, hash: u64) -> Option<FileReport> {
+        match self.entries.get(rel) {
+            Some(entry) if entry.hash == hash => self.entries.remove(rel).map(|e| e.report),
+            _ => None,
+        }
+    }
+
+    /// Stores `report` for `rel` at `hash`.
+    pub fn put(&mut self, rel: String, hash: u64, report: FileReport) {
+        self.entries.insert(rel, Entry { hash, report });
+    }
+
+    /// Number of cached files.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => {}
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Parses the cache text; `None` on any irregularity (treated as empty).
+fn parse(text: &str) -> Option<Cache> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    let expected = format!(
+        "sla-lint-cache {} {:016x}",
+        FORMAT_VERSION,
+        rules_fingerprint()
+    );
+    if header != expected {
+        return None;
+    }
+    let mut cache = Cache::default();
+    while let Some(line) = lines.next() {
+        let rest = line.strip_prefix("file ")?;
+        // `file <hash> <nf> <nw> <rel>` — rel last, since paths may contain
+        // spaces.
+        let mut parts = rest.splitn(4, ' ');
+        let hash = u64::from_str_radix(parts.next()?, 16).ok()?;
+        let nf: usize = parts.next()?.parse().ok()?;
+        let nw: usize = parts.next()?.parse().ok()?;
+        let rel = parts.next()?.to_string();
+        let mut report = FileReport::default();
+        for _ in 0..nf {
+            let (l, r, text) = item(lines.next()?, "f ")?;
+            report.findings.push(Finding {
+                file: rel.clone(),
+                line: l,
+                rule: r,
+                message: text,
+            });
+        }
+        for _ in 0..nw {
+            let (l, r, text) = item(lines.next()?, "w ")?;
+            report.waivers.push(AppliedWaiver {
+                file: rel.clone(),
+                line: l,
+                rule: r,
+                reason: text,
+            });
+        }
+        cache.put(rel, hash, report);
+    }
+    Some(cache)
+}
+
+/// Parses one `f <line> <rule> <text>` / `w <line> <rule> <text>` line. The
+/// rule id is resolved through the registry: an id this binary doesn't know
+/// invalidates the cache (the fingerprint should have caught it, but the
+/// resolution is what makes `rule: &'static str` sound).
+fn item(line: &str, prefix: &str) -> Option<(u32, &'static str, String)> {
+    let rest = line.strip_prefix(prefix)?;
+    let mut parts = rest.splitn(3, ' ');
+    let l: u32 = parts.next()?.parse().ok()?;
+    let r = rule(parts.next()?)?;
+    let text = unescape(parts.next()?);
+    Some((l, r.id, text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> FileReport {
+        FileReport {
+            findings: vec![Finding {
+                file: "crates/core/src/x.rs".into(),
+                line: 3,
+                rule: "env-read",
+                message: "line one\nline two \\ backslash".into(),
+            }],
+            waivers: vec![AppliedWaiver {
+                file: "crates/core/src/x.rs".into(),
+                line: 7,
+                rule: "float-arith",
+                reason: "display only".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_reports_and_hashes() {
+        let dir = std::env::temp_dir().join(format!("sla-lint-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("roundtrip.cache");
+        let mut cache = Cache::default();
+        cache.put("crates/core/src/x.rs".into(), 0xdead_beef, report());
+        cache.save(&path).expect("save");
+        let mut loaded = Cache::load(&path).expect("load");
+        assert_eq!(loaded.len(), 1);
+        // Wrong hash: miss.
+        assert!(loaded.take("crates/core/src/x.rs", 1).is_none());
+        // Right hash: full report back, escaping intact.
+        let r = loaded
+            .take("crates/core/src/x.rs", 0xdead_beef)
+            .expect("hit");
+        assert_eq!(r.findings[0].message, "line one\nline two \\ backslash");
+        assert_eq!(r.findings[0].rule, "env-read");
+        assert_eq!(r.waivers[0].reason, "display only");
+        assert!(loaded.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_and_stale_fingerprint_load_empty() {
+        let dir = std::env::temp_dir().join(format!("sla-lint-cache2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let missing = Cache::load(&dir.join("nope.cache")).expect("missing is fine");
+        assert!(missing.is_empty());
+        let stale = dir.join("stale.cache");
+        std::fs::write(&stale, "sla-lint-cache 1 0000000000000000\n").expect("write");
+        assert!(Cache::load(&stale).expect("load").is_empty());
+        std::fs::write(&stale, "garbage\n").expect("write");
+        assert!(Cache::load(&stale).expect("load").is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_is_stable_within_a_binary() {
+        assert_eq!(rules_fingerprint(), rules_fingerprint());
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+        assert_eq!(content_hash("x"), fnv1a(b"x"));
+    }
+}

@@ -3,33 +3,82 @@
 //! ```text
 //! sla-lint --workspace          lint the enclosing workspace's own sources
 //! sla-lint --list-rules         print the rule registry
+//! sla-lint --list-waivers       also print every counted waiver (sorted)
+//! sla-lint --json               machine-readable findings on stdout
+//! sla-lint --github             GitHub workflow ::error annotations
+//! sla-lint --cache <path>       incremental mode: reuse per-file findings
+//!                               keyed by content hash, update <path>
 //! sla-lint <root-dir>...        lint the tree(s) under explicit roots
 //!                               (fixture mode — how the test suite drives it)
 //! ```
+//!
+//! Output modes compose with either target selection. `--json` replaces the
+//! human findings listing (one sorted, compact JSON document, identical
+//! bytes for identical reports — CI diffs cold vs cached runs with `cmp`);
+//! `--github` adds one `::error` annotation per finding for workflow logs.
 //!
 //! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use sla_lint::{find_workspace_root, lint_tree, Report, RULES};
+use sla_lint::{cache::Cache, find_workspace_root, lint_tree, lint_tree_with_cache, Report, RULES};
+
+struct Options {
+    roots: Vec<PathBuf>,
+    json: bool,
+    github: bool,
+    list_waivers: bool,
+    cache: Option<PathBuf>,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: sla-lint --workspace | --list-rules | <root-dir>...");
+        usage();
         return ExitCode::from(2);
     }
 
     if args.iter().any(|a| a == "--list-rules") {
         for rule in RULES {
-            println!("{:<16} {}", rule.id, rule.summary);
-            println!("{:<16}   {}", "", rule.rationale);
+            println!("{:<20} {}", rule.id, rule.summary);
+            println!("{:<20}   {}", "", rule.rationale);
         }
         return ExitCode::SUCCESS;
     }
 
-    let roots: Vec<PathBuf> = if args.iter().any(|a| a == "--workspace") {
+    let mut opts = Options {
+        roots: Vec::new(),
+        json: false,
+        github: false,
+        list_waivers: false,
+        cache: None,
+    };
+    let mut workspace = false;
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--json" => opts.json = true,
+            "--github" => opts.github = true,
+            "--list-waivers" => opts.list_waivers = true,
+            "--cache" => match args.next() {
+                Some(path) => opts.cache = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("sla-lint: --cache needs a path argument");
+                    return ExitCode::from(2);
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("sla-lint: unknown flag `{other}`");
+                usage();
+                return ExitCode::from(2);
+            }
+            root => opts.roots.push(PathBuf::from(root)),
+        }
+    }
+
+    if workspace {
         let cwd = match std::env::current_dir() {
             Ok(d) => d,
             Err(e) => {
@@ -38,7 +87,7 @@ fn main() -> ExitCode {
             }
         };
         match find_workspace_root(&cwd) {
-            Some(root) => vec![root],
+            Some(root) => opts.roots.push(root),
             None => {
                 eprintln!(
                     "sla-lint: no workspace root (Cargo.toml with [workspace]) above {}",
@@ -47,13 +96,30 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
-    } else {
-        args.iter().map(PathBuf::from).collect()
+    }
+    if opts.roots.is_empty() {
+        usage();
+        return ExitCode::from(2);
+    }
+
+    let mut cache = match &opts.cache {
+        Some(path) => match Cache::load(path) {
+            Ok(cache) => Some(cache),
+            Err(e) => {
+                eprintln!("sla-lint: cannot read cache {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
     };
 
     let mut total = Report::default();
-    for root in &roots {
-        match lint_tree(root) {
+    for root in &opts.roots {
+        let linted = match &mut cache {
+            Some(cache) => lint_tree_with_cache(root, cache),
+            None => lint_tree(root),
+        };
+        match linted {
             Ok(report) => {
                 total.files += report.files;
                 total.findings.extend(report.findings);
@@ -66,8 +132,39 @@ fn main() -> ExitCode {
         }
     }
 
-    for finding in &total.findings {
-        println!("{finding}");
+    if let (Some(cache), Some(path)) = (&cache, &opts.cache) {
+        if let Err(e) = cache.save(path) {
+            eprintln!("sla-lint: cannot write cache {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if opts.json {
+        println!("{}", to_json(&total));
+    } else {
+        for finding in &total.findings {
+            println!("{finding}");
+        }
+    }
+    if opts.github {
+        for f in &total.findings {
+            // One workflow annotation per finding; GitHub renders these
+            // inline on the PR diff.
+            println!(
+                "::error file={},line={},title=sla-lint {}::{}",
+                f.file,
+                f.line,
+                f.rule,
+                github_escape(&f.message)
+            );
+        }
+    }
+    if opts.list_waivers {
+        // Already in sorted (file, line) order: files are processed sorted
+        // and waivers collected in line order within each file.
+        for w in &total.waivers {
+            println!("{}:{}: allow({}): {}", w.file, w.line, w.rule, w.reason);
+        }
     }
     eprintln!(
         "sla-lint: {} file(s), {} finding(s), {} waiver(s)",
@@ -80,4 +177,74 @@ fn main() -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: sla-lint [--json] [--github] [--list-waivers] [--cache <path>] \
+         (--workspace | <root-dir>...)\n       sla-lint --list-rules"
+    );
+}
+
+/// Renders the report as one compact JSON document. Hand-rolled (the
+/// workspace builds without serialization dependencies); findings and
+/// waivers are already sorted, so equal reports give equal bytes.
+fn to_json(report: &Report) -> String {
+    let mut out = String::from("{\"files\":");
+    out.push_str(&report.files.to_string());
+    out.push_str(",\"findings\":[");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":{},\"line\":{},\"rule\":{},\"message\":{}}}",
+            json_string(&f.file),
+            f.line,
+            json_string(f.rule),
+            json_string(&f.message)
+        ));
+    }
+    out.push_str("],\"waivers\":[");
+    for (i, w) in report.waivers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":{},\"line\":{},\"rule\":{},\"reason\":{}}}",
+            json_string(&w.file),
+            w.line,
+            json_string(w.rule),
+            json_string(&w.reason)
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// JSON string literal with the mandatory escapes.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Workflow-command data escaping: `%`, `\r`, `\n` are the significant
+/// characters in annotation messages.
+fn github_escape(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
 }

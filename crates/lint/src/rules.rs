@@ -14,13 +14,30 @@
 //!
 //! 1. Add a `Rule` entry to [`RULES`] (id, summary, rationale, and which
 //!    paths it applies to / allow-lists).
-//! 2. Implement its check in [`check_file`] — match over code tokens
-//!    (comments and string contents are already separated by the lexer) and
-//!    push [`Finding`]s with the line of the offending token.
-//! 3. Add a positive fixture under `crates/lint/fixtures/violations/` and,
+//! 2. Pick the analysis depth the rule needs, cheapest first:
+//!    * **Token-level** (an identifier or `std::…` path is banned
+//!      outright): match over the code tokens in [`check_file`] — comments
+//!      and string contents are already separated by the lexer — and push
+//!      [`Finding`]s with the line of the offending token.
+//!    * **Flow-aware** (the rule depends on *what an expression is* — a
+//!      receiver's type, an index position, a cast source): consume the
+//!      per-file [`crate::parser::Analysis`] that [`check_file`] already
+//!      computes. If the events the rule needs aren't collected yet, extend
+//!      `parser.rs` (one forward pass; keep new inference *conservative*:
+//!      an unprovable type must yield no event, because a false positive in
+//!      a zero-waiver crate forces a code change). Add parser unit tests
+//!      for every new propagation path, positive and negative.
+//! 3. Filter by scope: path lists (`allowed`), library code
+//!    (`SourceFile::is_lib_code`), and — for rules that exempt test
+//!    modules — lines `>= Analysis::test_start`.
+//! 4. Add a positive fixture under `crates/lint/fixtures/violations/` and,
 //!    when the rule has a sanctioned form, a negative one under
-//!    `crates/lint/fixtures/clean/`; extend `crates/lint/tests/fixtures.rs`.
-//! 4. Document the rule in ROADMAP.md ("Determinism contract enforcement").
+//!    `crates/lint/fixtures/clean/`; extend `crates/lint/tests/fixtures.rs`
+//!    (the `violations_tree_trips_every_rule` test fails until the fixture
+//!    tree trips the new rule).
+//! 5. Document the rule in ROADMAP.md ("Determinism contract enforcement").
+//!    Cached runs invalidate themselves: the cache key includes the rule
+//!    registry fingerprint, so a new rule forces a cold re-lint.
 //!
 //! # Waivers
 //!
@@ -36,6 +53,7 @@
 //! (`waiver-syntax`) and suppresses nothing.
 
 use crate::lexer::{Token, TokenKind};
+use crate::parser;
 use crate::{Finding, SourceFile};
 
 /// One registered rule.
@@ -111,6 +129,38 @@ pub const RULES: &[Rule] = &[
                     (crates/netlist/src/parser.rs, crates/atpg/src/engine.rs) must propagate \
                     Results instead of unwrapping. Test modules (`#[cfg(test)]` onward) are \
                     exempt — a failed test may panic.",
+    },
+    Rule {
+        id: "fast-map-iteration",
+        summary: "no iteration over FastHashMap/FastHashSet in library code",
+        rationale: "FastHashMap/FastHashSet iteration order depends on insertion history and \
+                    capacity, so any iterated result leaks that history into outputs; the \
+                    types are lookup-only — iterate a BTreeMap/BTreeSet, or collect keys and \
+                    sort first. Banned forms: `for … in`, .iter(), .iter_mut(), .keys(), \
+                    .values(), .values_mut(), .into_iter(), .into_keys(), .into_values(), \
+                    .drain(), .retain(). Test modules are exempt. Allow-listed: \
+                    crates/netlist/src/hash.rs, the definition site.",
+    },
+    Rule {
+        id: "panic-index",
+        summary: "no unchecked slice/array indexing in hardened no-panic files",
+        rationale: "`x[i]` panics on an out-of-range index, which breaks the same resilience \
+                    contract `unwrap-in-lib` protects: the hardened files \
+                    (crates/netlist/src/parser.rs, crates/atpg/src/engine.rs) must surface \
+                    typed errors on malformed input, never panic; use .get()/.get_mut() (or \
+                    .get(a..b) for slicing) and propagate. Test modules are exempt.",
+    },
+    Rule {
+        id: "lossy-cast",
+        summary: "no narrowing integer `as` casts in the pipeline crates",
+        rationale: "a narrowing `as` cast wraps silently even under overflow-checks, so a \
+                    result-carrying value that outgrows the target type corrupts output \
+                    instead of failing loudly; use try_from/try_into with a typed error (or \
+                    .expect() outside the hardened files, where an invariant makes overflow \
+                    unreachable). Applies to crates/{core,sim,atpg,par}; flagged only when \
+                    the source type is provable (annotation, suffixed literal, .len()); test \
+                    modules are exempt. usize/isize are treated as 64-bit — the workspace's \
+                    only supported pointer width.",
     },
     Rule {
         id: "waiver-syntax",
@@ -216,9 +266,12 @@ const ENV_READ_ALLOW: &[&str] = &[
     "crates/snapshot/src/inject.rs",
 ];
 const THREAD_SPAWN_ALLOW: &[&str] = &["crates/par/"];
-/// Files under the `unwrap-in-lib` no-panic contract.
+/// Files under the no-panic contract (`unwrap-in-lib` and `panic-index`).
 const UNWRAP_SCOPE: &[&str] = &["crates/netlist/src/parser.rs", "crates/atpg/src/engine.rs"];
+/// The deterministic pipeline crates (`float-arith` and `lossy-cast`).
 const FLOAT_SCOPE: &[&str] = &["crates/core/", "crates/sim/", "crates/atpg/", "crates/par/"];
+/// `fast-map-iteration` exempts the type's own definition site.
+const FAST_MAP_ALLOW: &[&str] = &["crates/netlist/src/hash.rs"];
 
 /// Runs every applicable rule over one file, appending findings (not yet
 /// waiver-filtered — the engine applies waivers afterwards so it can report
@@ -355,6 +408,61 @@ pub fn check_file(file: &SourceFile, findings: &mut Vec<Finding>) {
                     ),
                 ));
             }
+        }
+    }
+
+    // The flow-aware rules share one syntactic pass (see crate::parser).
+    let analysis = parser::analyze(&file.tokens);
+
+    if file.is_lib_code() && !allowed(&file.rel, FAST_MAP_ALLOW) {
+        for it in &analysis.fast_map_iterations {
+            if it.line >= analysis.test_start {
+                continue;
+            }
+            findings.push(file.finding(
+                it.line,
+                "fast-map-iteration",
+                format!(
+                    "{} iterates a fast map whose order is insertion-dependent; \
+                     FastHashMap/FastHashSet are lookup-only — iterate a BTreeMap/BTreeSet \
+                     or collect and sort first",
+                    it.what
+                ),
+            ));
+        }
+    }
+
+    if UNWRAP_SCOPE.contains(&file.rel.as_str()) {
+        for ix in &analysis.index_exprs {
+            if ix.line >= analysis.test_start {
+                continue;
+            }
+            findings.push(
+                file.finding(
+                    ix.line,
+                    "panic-index",
+                    "unchecked index `…[…]` in hardened no-panic code; use .get()/.get_mut() \
+                 and propagate a typed error"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+
+    if FLOAT_SCOPE.iter().any(|dir| file.rel.starts_with(dir)) {
+        for cast in &analysis.int_casts {
+            if cast.line >= analysis.test_start {
+                continue;
+            }
+            findings.push(file.finding(
+                cast.line,
+                "lossy-cast",
+                format!(
+                    "narrowing `as {}` from {} ({}) can wrap silently; use \
+                     {}::try_from with a typed error",
+                    cast.dst.name, cast.src.name, cast.provenance, cast.dst.name
+                ),
+            ));
         }
     }
 

@@ -50,6 +50,12 @@ fn violations_tree_expected_sites() {
         ("crates/atpg/src/engine.rs", "unwrap-in-lib"),
         ("crates/core/src/waiver_missing_reason.rs", "waiver-syntax"),
         ("crates/core/src/waiver_unknown_rule.rs", "waiver-syntax"),
+        (
+            "crates/core/src/fast_map_iteration.rs",
+            "fast-map-iteration",
+        ),
+        ("crates/netlist/src/parser.rs", "panic-index"),
+        ("crates/sim/src/lossy_cast.rs", "lossy-cast"),
     ];
     for (file, rule) in expect {
         assert!(
@@ -70,6 +76,52 @@ fn violations_tree_expected_sites() {
     let mut sorted = keys.clone();
     sorted.sort();
     assert_eq!(keys, sorted, "findings must be deterministically ordered");
+}
+
+#[test]
+fn flow_aware_rules_catch_every_banned_form() {
+    let report = fixture("violations");
+    let count = |rule: &str| report.findings.iter().filter(|f| f.rule == rule).count();
+    // fast_map_iteration.rs: .iter(), `for … in`, .into_iter(), .keys(),
+    // .values(), .drain().
+    assert_eq!(count("fast-map-iteration"), 6);
+    // parser.rs: element index, range slice, tuple-field receiver — the
+    // `#[cfg(test)]` indexing must not count.
+    assert_eq!(count("panic-index"), 3);
+    // lossy_cast.rs: annotated binding, .len(), both sign flips, inferred
+    // binding, suffixed literal.
+    assert_eq!(count("lossy-cast"), 6);
+}
+
+#[test]
+fn cached_run_replays_identical_findings() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("violations");
+    let cold = lint_tree(&root).expect("cold run");
+    // Warm the cache with one pass, then rerun: every file is a hash hit,
+    // and the replayed report must render byte-identically.
+    let mut cache = sla_lint::cache::Cache::default();
+    let first = sla_lint::lint_tree_with_cache(&root, &mut cache).expect("warming run");
+    assert_eq!(cache.len(), first.files);
+    let second = sla_lint::lint_tree_with_cache(&root, &mut cache).expect("cached run");
+    let render = |r: &Report| {
+        let mut out = String::new();
+        for f in &r.findings {
+            out.push_str(&f.to_string());
+            out.push('\n');
+        }
+        for w in &r.waivers {
+            out.push_str(&format!(
+                "{}:{}: allow({}): {}\n",
+                w.file, w.line, w.rule, w.reason
+            ));
+        }
+        out
+    };
+    assert_eq!(render(&cold), render(&first));
+    assert_eq!(render(&cold), render(&second));
+    assert_eq!(cold.files, second.files);
 }
 
 #[test]

@@ -62,8 +62,8 @@ fn content_column(raw: &str, pos: usize) -> usize {
 /// Strips a trailing `# comment` from an already-trimmed statement line.
 /// `.bench` names never contain `#`, so the first one starts the comment.
 fn strip_trailing_comment(line: &str) -> &str {
-    match line.find('#') {
-        Some(p) => line[..p].trim_end(),
+    match line.split_once('#') {
+        Some((stmt, _comment)) => stmt.trim_end(),
         None => line,
     }
 }
@@ -94,26 +94,25 @@ fn collect_pragmas(text: &str) -> Result<FastHashMap<String, SeqOverride>> {
         let col = content_column(raw, line.len() - rest.trim_start().len());
         let rest = strip_trailing_comment(rest);
         let words: Vec<&str> = rest.split_whitespace().collect();
-        if words.len() < 2 {
+        let [directive, target, operands @ ..] = words.as_slice() else {
             return Err(parse_err(
                 line_no,
                 col,
                 "pragma needs a directive and a target".into(),
             ));
-        }
-        let target = words[1].to_string();
-        let entry = map.entry(target).or_default();
-        match words[0].to_ascii_lowercase().as_str() {
+        };
+        let entry = map.entry(target.to_string()).or_default();
+        match directive.to_ascii_lowercase().as_str() {
             "clock" => {
-                if words.len() < 3 {
+                let Some(clock) = operands.first() else {
                     return Err(parse_err(
                         line_no,
                         col,
                         "pragma clock needs a clock name".into(),
                     ));
-                }
-                entry.clock = Some(words[2].to_string());
-                if let Some(edge) = words.get(3) {
+                };
+                entry.clock = Some(clock.to_string());
+                if let Some(edge) = operands.get(1) {
                     entry.edge = Some(match edge.to_ascii_lowercase().as_str() {
                         "rising" | "posedge" | "high" => ClockEdge::Rising,
                         "falling" | "negedge" | "low" => ClockEdge::Falling,
@@ -129,7 +128,7 @@ fn collect_pragmas(text: &str) -> Result<FastHashMap<String, SeqOverride>> {
             }
             "latch" => {
                 entry.kind = Some(SeqKind::Latch);
-                if let Some(p) = words.get(2) {
+                if let Some(p) = operands.first() {
                     let ports: u8 = p
                         .parse()
                         .map_err(|_| parse_err(line_no, col, format!("bad port count `{p}`")))?;
@@ -137,24 +136,24 @@ fn collect_pragmas(text: &str) -> Result<FastHashMap<String, SeqOverride>> {
                 }
             }
             "set" => {
-                if words.len() < 3 {
+                let Some(word) = operands.first() else {
                     return Err(parse_err(
                         line_no,
                         col,
                         "pragma set needs a constraint".into(),
                     ));
-                }
-                entry.set = Some(parse_constraint(words[2], line_no, col)?);
+                };
+                entry.set = Some(parse_constraint(word, line_no, col)?);
             }
             "reset" => {
-                if words.len() < 3 {
+                let Some(word) = operands.first() else {
                     return Err(parse_err(
                         line_no,
                         col,
                         "pragma reset needs a constraint".into(),
                     ));
-                }
-                entry.reset = Some(parse_constraint(words[2], line_no, col)?);
+                };
+                entry.reset = Some(parse_constraint(word, line_no, col)?);
             }
             other => {
                 return Err(parse_err(line_no, col, format!("unknown pragma `{other}`")));
@@ -213,29 +212,26 @@ pub fn parse_bench(name: &str, text: &str) -> Result<Netlist> {
             continue;
         }
         let upper = line.to_ascii_uppercase();
-        if let Some(arg) = parse_call(&upper, "INPUT") {
-            let orig = &line[arg.clone()];
-            b.input(orig.trim());
+        if let Some(arg) = parse_call(line, &upper, "INPUT") {
+            b.input(arg.trim());
             continue;
         }
-        if let Some(arg) = parse_call(&upper, "OUTPUT") {
-            let orig = &line[arg.clone()];
-            b.output(orig.trim())?;
+        if let Some(arg) = parse_call(line, &upper, "OUTPUT") {
+            b.output(arg.trim())?;
             continue;
         }
         // Assignment: name = FUNC(args)
-        let Some(eq) = line.find('=') else {
+        let Some((before_eq, after_eq)) = line.split_once('=') else {
             return Err(parse_err(
                 line_no,
                 content_column(raw, 0),
                 format!("expected `=` in `{line}`"),
             ));
         };
-        let lhs = line[..eq].trim();
-        let after_eq = &line[eq + 1..];
+        let lhs = before_eq.trim();
         let rhs = after_eq.trim();
         // Offset of the trimmed right-hand side within the trimmed line.
-        let rhs_at = eq + 1 + (after_eq.len() - after_eq.trim_start().len());
+        let rhs_at = before_eq.len() + 1 + (after_eq.len() - after_eq.trim_start().len());
         let Some(open) = rhs.find('(') else {
             return Err(parse_err(
                 line_no,
@@ -259,8 +255,17 @@ pub fn parse_bench(name: &str, text: &str) -> Result<Netlist> {
                 format!("mismatched parentheses in `{rhs}`"),
             ));
         }
-        let func = rhs[..open].trim();
-        let args_str = &rhs[open + 1..close];
+        // Both ranges are valid by construction (`open < close`, both from
+        // `find` on `rhs`); fall through to the mismatch error rather than
+        // slicing unchecked.
+        let (Some(func_part), Some(args_str)) = (rhs.get(..open), rhs.get(open + 1..close)) else {
+            return Err(parse_err(
+                line_no,
+                content_column(raw, rhs_at + close),
+                format!("mismatched parentheses in `{rhs}`"),
+            ));
+        };
+        let func = func_part.trim();
         let args: Vec<&str> = args_str
             .split(',')
             .map(|a| a.trim())
@@ -268,13 +273,13 @@ pub fn parse_bench(name: &str, text: &str) -> Result<Netlist> {
             .collect();
 
         if func.eq_ignore_ascii_case("DFF") || func.eq_ignore_ascii_case("LATCH") {
-            if args.len() != 1 {
+            let [data] = args.as_slice() else {
                 return Err(parse_err(
                     line_no,
                     content_column(raw, rhs_at),
                     format!("sequential element `{lhs}` needs exactly one data input"),
                 ));
-            }
+            };
             let mut info = SeqInfo::simple_ff();
             if func.eq_ignore_ascii_case("LATCH") {
                 info.kind = SeqKind::Latch;
@@ -299,7 +304,7 @@ pub fn parse_bench(name: &str, text: &str) -> Result<Netlist> {
                     info.reset = r;
                 }
             }
-            b.seq(lhs, args[0], info)?;
+            b.seq(lhs, data, info)?;
         } else if let Some(gate) = GateType::from_bench_name(func) {
             b.gate(lhs, gate, &args)?;
         } else {
@@ -332,23 +337,23 @@ pub fn parse_bench_file(path: impl AsRef<std::path::Path>) -> Result<Netlist> {
     parse_bench(name, &text)
 }
 
-/// Returns the byte range of the argument of `KEYWORD(arg)` if the line is such
-/// a call, otherwise `None`. Operates on the uppercased line but the range is
-/// valid for the original (same length).
-fn parse_call(upper_line: &str, keyword: &str) -> Option<std::ops::Range<usize>> {
+/// Returns the argument of `KEYWORD(arg)` — sliced from `line` — if the line
+/// is such a call, otherwise `None`. Matching happens on `upper_line` (the
+/// uppercased copy, same byte length) so the keyword is case-insensitive
+/// while the returned argument keeps its original case.
+fn parse_call<'a>(line: &'a str, upper_line: &str, keyword: &str) -> Option<&'a str> {
     let trimmed = upper_line.trim_start();
     let offset = upper_line.len() - trimmed.len();
-    if !trimmed.starts_with(keyword) {
-        return None;
-    }
-    let rest = &trimmed[keyword.len()..];
+    let rest = trimmed.strip_prefix(keyword)?;
     let rest_trim = rest.trim_start();
     if !rest_trim.starts_with('(') {
         return None;
     }
     let open = offset + keyword.len() + (rest.len() - rest_trim.len());
     let close = upper_line.rfind(')')?;
-    Some(open + 1..close)
+    // `close` precedes `open` only on garbage like `INPUT)…(`; treat that as
+    // "not a call" and let the assignment path report the error.
+    line.get(open + 1..close)
 }
 
 #[cfg(test)]

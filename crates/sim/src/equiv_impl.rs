@@ -13,7 +13,8 @@ use crate::Result;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sla_netlist::levelize::levelize;
-use sla_netlist::{FastHashMap, Netlist, NodeId, NodeKind};
+use sla_netlist::{Netlist, NodeId, NodeKind};
+use std::collections::BTreeMap;
 
 /// Configuration of the equivalence-detection pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -188,7 +189,10 @@ pub fn find_equivalences(netlist: &Netlist, config: &EquivConfig) -> Result<Equi
         }
     };
 
-    let mut groups: FastHashMap<Vec<u64>, Vec<(NodeId, bool)>> = FastHashMap::default();
+    // A BTreeMap so `into_values` below walks signatures in sorted order —
+    // the class list is re-sorted by leader afterwards, but the iteration
+    // itself must not depend on hash-insertion history (fast-map-iteration).
+    let mut groups: BTreeMap<Vec<u64>, Vec<(NodeId, bool)>> = BTreeMap::new();
     for id in netlist.gates() {
         let (canon, inverted) = canonical(&signatures[id.index()]);
         groups.entry(canon).or_default().push((id, inverted));

@@ -4,6 +4,9 @@
 //!
 //! Run with `cargo run --release --example invalid_states`.
 
+#[path = "util/stable.rs"]
+mod stable;
+
 use seqlearn::circuits::{retimed_circuit, RetimedConfig};
 use seqlearn::learn::{LearnConfig, SequentialLearner};
 use seqlearn::sim::StateOracle;
@@ -35,9 +38,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = SequentialLearner::new(&netlist, LearnConfig::default()).learn()?;
     let relations = result.invalid_state_relations(&netlist);
     println!(
-        "Sequential learning found {} invalid-state relations in {:?}",
+        "Sequential learning found {} invalid-state relations in {}",
         relations.len(),
-        result.stats.cpu
+        stable::cpu(result.stats.cpu)
     );
 
     let mut sound = 0usize;

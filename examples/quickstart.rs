@@ -3,6 +3,9 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
+#[path = "util/stable.rs"]
+mod stable;
+
 use seqlearn::circuits::paper_style_figure1;
 use seqlearn::learn::{LearnConfig, SequentialLearner};
 
@@ -18,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let result = SequentialLearner::new(&netlist, LearnConfig::default()).learn()?;
 
-    println!("\nLearned in {:?}:", result.stats.cpu);
+    println!("\nLearned in {}:", stable::cpu(result.stats.cpu));
     println!(
         "  {} relations total ({} FF-FF, {} gate-FF), {} needed sequential analysis",
         result.stats.total.total(),

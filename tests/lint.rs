@@ -71,4 +71,13 @@ fn seeded_violation_fixture_fails_the_lint() {
         !report.findings.is_empty(),
         "the seeded-violation fixture produced zero findings"
     );
+    // The flow-aware rules (parser-backed, PR 10) must each trip on the
+    // seeded tree — if the syntactic layer regresses, one of these counts
+    // drops to zero long before a real violation slips through.
+    for rule in ["fast-map-iteration", "panic-index", "lossy-cast"] {
+        assert!(
+            report.findings.iter().any(|f| f.rule == rule),
+            "seeded tree no longer trips `{rule}`"
+        );
+    }
 }
